@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run each experiment once (``benchmark.pedantic`` with one
+round — these are minutes-long flows, not microseconds) and save the
+result rows under ``benchmarks/results/`` so that
+``examples/generate_experiments_report.py`` can assemble
+EXPERIMENTS.md without re-running anything.
+
+Set ``REPRO_EVAL_PRESET=quick|default|paper`` to pick the experiment
+scale (see ``repro.eval.EvalScale``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import EvalScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def eval_scale() -> EvalScale:
+    preset = os.environ.get("REPRO_EVAL_PRESET", "default")
+    if preset == "quick":
+        return EvalScale.quick()
+    if preset == "paper":
+        return EvalScale.paper()
+    return EvalScale()
+
+
+@pytest.fixture(scope="session")
+def save_rows():
+    """Persist experiment rows as JSON keyed by experiment id."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(experiment_id: str, rows: list[dict]) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.json"
+        path.write_text(json.dumps(rows, indent=1, default=str))
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,159 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations:
+
+* **Metaheuristic passes** — Algorithm 1's flip pass (lines 7-8) and
+  window-grid shifting (line 9) both contribute alignments; disabling
+  either must not improve the objective.
+* **Jogged-M1 route modeling** — the router's near-direct M1+M2 jog
+  stage is what makes the initial M1 wirelength and via12 counts
+  realistic; without it stage 1 books strictly fewer M1 routes.
+* **Timing-criticality weights (§6 extension)** — under a stressed
+  clock, criticality-weighted β must not worsen WNS relative to the
+  uniform objective.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import OptParams, ParamSet, vm1_opt
+from repro.core.objective import alignment_stats
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter, RouterConfig
+from repro.tech import CellArchitecture, make_tech
+
+
+def _fresh_design(scale=0.02, seed=3):
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=scale, seed=seed)
+    place_design(design, seed=1)
+    return design
+
+
+def _params(tech_arch, theta=0.05):
+    return OptParams.for_arch(
+        tech_arch,
+        sequence=(ParamSet.square(1.0, 3, 1),),
+        time_limit=3.0,
+        theta=theta,
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_metaheuristic_passes(benchmark, save_rows):
+    def run():
+        rows = []
+        for label, kwargs in (
+            ("full", {}),
+            ("no-flip", {"enable_flip": False}),
+            ("no-shift", {"enable_shift": False}),
+        ):
+            design = _fresh_design()
+            params = _params(design.tech.arch)
+            result = vm1_opt(design, params, **kwargs)
+            stats = alignment_stats(design, params)
+            rows.append(
+                {
+                    "variant": label,
+                    "objective": result.final_objective,
+                    "#aligned": stats.num_aligned,
+                    "iterations": result.iterations,
+                    "runtime (s)": result.wall_seconds,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_rows("ablation_metaheuristic", rows)
+    by = {row["variant"]: row for row in rows}
+    # Removing a pass must not improve the final objective.
+    assert by["full"]["objective"] <= by["no-flip"]["objective"] + 1e-6
+    assert by["full"]["objective"] <= by["no-shift"]["objective"] + 1e-6
+    # The flip degree of freedom contributes alignments.
+    assert by["full"]["#aligned"] >= by["no-flip"]["#aligned"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_jog_modeling(benchmark, save_rows):
+    def run():
+        design = _fresh_design(scale=0.04)
+        with_jogs = DetailedRouter(design).route()
+        without = DetailedRouter(
+            design, RouterConfig(jog_max_sites=0)
+        ).route()
+        return [
+            {
+                "variant": "with jogs",
+                "#jogs": with_jogs.num_jog_m1,
+                "#dM1": with_jogs.num_dm1,
+                "M1WL (um)": with_jogs.m1_wirelength / 1000,
+                "#via12": with_jogs.num_via12,
+            },
+            {
+                "variant": "no jogs",
+                "#jogs": without.num_jog_m1,
+                "#dM1": without.num_dm1,
+                "M1WL (um)": without.m1_wirelength / 1000,
+                "#via12": without.num_via12,
+            },
+        ]
+
+    rows = run_once(benchmark, run)
+    save_rows("ablation_jogs", rows)
+    with_jogs, without = rows
+    assert with_jogs["#jogs"] > 0
+    assert without["#jogs"] == 0
+    assert without["#dM1"] == with_jogs["#dM1"]  # dM1 unaffected
+    assert without["M1WL (um)"] < with_jogs["M1WL (um)"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_timing_driven(benchmark, save_rows):
+    from dataclasses import replace
+
+    from repro.routing import DetailedRouter
+    from repro.timing import analyze_timing
+    from repro.timing.criticality import criticality_weights
+
+    def run():
+        rows = []
+        for label, timing_driven in (
+            ("uniform beta", False),
+            ("criticality beta", True),
+        ):
+            design = _fresh_design()
+            init_metrics = DetailedRouter(design).route()
+            init_timing = analyze_timing(
+                design, init_metrics.net_lengths
+            )
+            period = 0.95 * init_timing.critical_path_ps
+            params = _params(design.tech.arch)
+            if timing_driven:
+                params = replace(
+                    params,
+                    net_beta=criticality_weights(design, init_timing),
+                )
+            vm1_opt(design, params)
+            metrics = DetailedRouter(design).route()
+            timing = analyze_timing(
+                design, metrics.net_lengths, clock_period_ps=period
+            )
+            rows.append(
+                {
+                    "variant": label,
+                    "WNS (ps)": timing.wns_ps,
+                    "TNS (ps)": timing.tns_ps,
+                    "RWL (um)": metrics.routed_wirelength / 1000,
+                    "#dM1": metrics.num_dm1,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_rows("ablation_timing_driven", rows)
+    uniform, weighted = rows
+    # Criticality weighting must not hurt WNS (and usually helps).
+    assert weighted["WNS (ps)"] >= uniform["WNS (ps)"] - 10.0

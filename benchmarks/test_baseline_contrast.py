@@ -1,0 +1,79 @@
+"""Baseline contrast: single-row DP vs the windowed MILP (§2).
+
+The paper positions its MILP against the classic DP/graph single-row
+detailed placers: those optimize wirelength efficiently but cannot
+express *inter-row* vertical M1 alignment.  This bench runs both on
+the same placement and measures the contrast:
+
+* the DP baseline improves HPWL but leaves the alignment count near
+  its incidental level;
+* VM1Opt banks several times more alignments, accepting small HPWL
+  sacrifices the router converts into RWL/via12 wins.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baseline import row_dp_refine
+from repro.core import OptParams, ParamSet, vm1_opt
+from repro.core.objective import alignment_stats
+from repro.eval import render_markdown_table
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+
+
+def _run_contrast():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=0.03, seed=3)
+    place_design(design, seed=1)
+    initial = design.placement_snapshot()
+    params = OptParams.for_arch(
+        tech.arch, sequence=(ParamSet.square(1.2, 4, 1),),
+        time_limit=4.0, theta=0.02,
+    )
+
+    rows = []
+
+    def measure(label):
+        metrics = DetailedRouter(design).route()
+        stats = alignment_stats(design, params)
+        rows.append(
+            {
+                "placer": label,
+                "HPWL (um)": design.total_hpwl() / 1000,
+                "#aligned": stats.num_aligned,
+                "#dM1 routed": metrics.num_dm1,
+                "RWL (um)": metrics.routed_wirelength / 1000,
+                "#via12": metrics.num_via12,
+            }
+        )
+
+    measure("initial")
+    row_dp_refine(design)
+    measure("row-DP [5,8]")
+    design.restore_placement(initial)
+    vm1_opt(design, params)
+    measure("VM1Opt (MILP)")
+    design.restore_placement(initial)
+    return rows
+
+
+@pytest.mark.benchmark(group="baseline")
+def test_dp_vs_milp_contrast(benchmark, save_rows):
+    rows = run_once(benchmark, _run_contrast)
+    save_rows("baseline_contrast", rows)
+    print("\n" + render_markdown_table(rows))
+
+    init, dp, milp = rows
+    # DP optimizes wirelength...
+    assert dp["HPWL (um)"] < init["HPWL (um)"]
+    # ...but cannot bank alignments the way the MILP does.
+    assert milp["#aligned"] > 2 * max(dp["#aligned"], 1)
+    assert milp["#dM1 routed"] > 2 * max(dp["#dM1 routed"], 1)
+    # And the MILP's alignments monetize into routed wirelength.
+    assert milp["RWL (um)"] < init["RWL (um)"]
+    assert milp["#via12"] < init["#via12"]

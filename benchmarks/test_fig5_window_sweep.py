@@ -1,0 +1,48 @@
+"""Figure 5: RWL / runtime vs window size and perturbation range.
+
+Paper shape targets: routed wirelength falls as windows grow; runtime
+grows superlinearly with window size; the knee rule picks a mid-size
+window with lx = 4, ly = 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import render_markdown_table
+from repro.eval.expt_a1 import expt_a1_window_sweep, knee_configuration
+
+WINDOWS = (5.0, 10.0, 20.0, 40.0)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_window_sweep(benchmark, eval_scale, save_rows):
+    rows = run_once(
+        benchmark,
+        expt_a1_window_sweep,
+        eval_scale,
+        window_sizes_um=WINDOWS,
+    )
+    save_rows("fig5_window_sweep", rows)
+    print("\n" + render_markdown_table(rows))
+
+    by_size = {}
+    for row in rows:
+        by_size.setdefault(row["window (paper um)"], []).append(row)
+
+    # Shape 1: the largest window gives the best (or tied-best) RWL.
+    mean_rwl = {
+        size: sum(r["RWL (um)"] for r in rs) / len(rs)
+        for size, rs in by_size.items()
+    }
+    assert mean_rwl[WINDOWS[-1]] <= mean_rwl[WINDOWS[0]] * 1.002
+
+    # Shape 2: runtime grows with window size (largest vs smallest).
+    mean_rt = {
+        size: sum(r["runtime (s)"] for r in rs) / len(rs)
+        for size, rs in by_size.items()
+    }
+    assert mean_rt[WINDOWS[-1]] > 1.5 * mean_rt[WINDOWS[0]]
+
+    # The knee rule produces a configuration within 1% of best RWL.
+    knee = knee_configuration(rows)
+    assert knee["RWL (norm)"] <= 1.01

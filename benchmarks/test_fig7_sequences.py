@@ -1,0 +1,45 @@
+"""Figure 7: optimization-sequence comparison.
+
+Paper shape targets: the lx = 4 sequences (1 and 2) reach the best
+RWL, multi-set sequences buy no extra quality, so the single-set
+(20, 4, 1) sequence is the preferred choice.
+
+Note on runtime: in the paper's regime sequence 2 costs ~2x sequence
+1.  At this reproduction's compressed window scale the tiny early
+windows of the multi-set sequences are both fast and weak, so the
+relative *runtime* ordering is scale-dependent; runtimes are reported
+but the assertion is on the quality ordering that drives the paper's
+conclusion.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import render_markdown_table
+from repro.eval.expt_a3 import expt_a3_sequences
+
+SEQUENCES = (1, 2, 4)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_sequences(benchmark, eval_scale, save_rows):
+    rows = run_once(
+        benchmark, expt_a3_sequences, eval_scale,
+        sequence_ids=SEQUENCES,
+    )
+    save_rows("fig7_sequences", rows)
+    print("\n" + render_markdown_table(rows))
+
+    by_id = {row["sequence"]: row for row in rows}
+
+    # Shape 1: the lx=4 single-set sequence reaches the best RWL
+    # (within 1%) — the basis of the paper's "(20, 4, 1) preferred"
+    # conclusion.
+    best = min(row["RWL (um)"] for row in rows)
+    assert by_id[1]["RWL (um)"] <= best * 1.01
+
+    # Shape 2: the extra passes of the multi-set sequences buy no
+    # meaningful quality over sequence 1.
+    for seq_id, row in by_id.items():
+        if seq_id != 1:
+            assert row["RWL (um)"] >= by_id[1]["RWL (um)"] * 0.99

@@ -1,0 +1,41 @@
+"""Figure 8: DRVs before/after optimization vs initial utilization.
+
+Paper shape targets: raising utilization induces congestion DRVs; the
+optimizer avoids a substantial fraction of them while keeping a large
+#dM1 count.  (The paper also notes DRV counts are not perfectly
+monotonic in utilization — initial placement quality dominates — so
+we assert the aggregate trend, not per-point monotonicity.)
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import render_markdown_table
+from repro.eval.expt_b import expt_b_fig8_drv_sweep
+
+UTILIZATIONS = (0.80, 0.83, 0.86)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_drv_utilization(benchmark, eval_scale, save_rows):
+    rows = run_once(
+        benchmark,
+        expt_b_fig8_drv_sweep,
+        eval_scale,
+        utilizations=UTILIZATIONS,
+    )
+    save_rows("fig8_drv_sweep", rows)
+    print("\n" + render_markdown_table(rows))
+
+    # Shape 1: optimization reduces DRVs in aggregate and (modulo a
+    # small noise floor on individual points) per utilization.
+    total_orig = sum(row["#DRVs orig"] for row in rows)
+    total_opt = sum(row["#DRVs opt"] for row in rows)
+    for row in rows:
+        assert row["#DRVs opt"] <= row["#DRVs orig"] * 1.05 + 2, row
+    assert total_orig > 0
+    assert total_opt < 0.95 * total_orig
+
+    # Shape 2: #dM1 grows at every utilization point.
+    for row in rows:
+        assert row["#dM1 opt"] > row["#dM1 orig"], row

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the heavy inner kernels.
+
+These are genuine multi-round pytest benchmarks (unlike the one-shot
+experiment regenerations): window MILP construction, window MILP
+solve, and full-design routing — the three costs that dominate the
+flow and that Figure 5's runtime axis is made of.
+"""
+
+import pytest
+
+from repro.core import OptParams, Window, build_window_model
+from repro.core.window import partition
+from repro.library import build_library
+from repro.milp import HighsBackend
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def placed_design():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=0.03, seed=3)
+    place_design(design, seed=1)
+    return design
+
+
+@pytest.fixture(scope="module")
+def one_window(placed_design):
+    windows = partition(placed_design, 0, 0, 1250, 1080)
+    # Pick the fullest window for a representative MILP.
+    return max(
+        windows,
+        key=lambda w: len(placed_design.instances_in(w.rect)),
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_window_model_build(benchmark, placed_design, one_window):
+    params = OptParams.for_arch(placed_design.tech.arch)
+    problem = benchmark(
+        build_window_model,
+        placed_design,
+        one_window,
+        params,
+        lx=3,
+        ly=1,
+        allow_flip=False,
+    )
+    assert problem is not None
+    assert problem.model.num_binaries > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_window_milp_solve(benchmark, placed_design, one_window):
+    params = OptParams.for_arch(placed_design.tech.arch)
+    problem = build_window_model(
+        placed_design, one_window, params, lx=3, ly=1, allow_flip=False
+    )
+    solver = HighsBackend(time_limit=10.0, mip_rel_gap=0.01)
+    solution = benchmark(solver.solve, problem.model)
+    assert solution.status.has_solution
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_full_route(benchmark, placed_design):
+    metrics = benchmark(lambda: DetailedRouter(placed_design).route())
+    assert metrics.routed_wirelength > 0

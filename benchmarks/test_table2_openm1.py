@@ -1,0 +1,53 @@
+"""Table 2 (bottom half): OpenM1-based designs, full flow.
+
+Paper shape targets: #dM1 increases far less than for ClosedM1 (the
+paper sees ~50-70% vs 4x+), RWL improves but by less than ClosedM1's
+improvement on the same designs, no DRV/WNS degradation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from repro.eval import render_markdown_table
+from repro.eval.expt_b import expt_b_table2
+from repro.tech import CellArchitecture
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_openm1(benchmark, eval_scale, save_rows):
+    rows = run_once(
+        benchmark,
+        expt_b_table2,
+        eval_scale,
+        archs=(CellArchitecture.OPEN_M1,),
+    )
+    save_rows("table2_openm1", rows)
+    print("\n" + render_markdown_table(rows))
+
+    assert len(rows) == 4
+    for row in rows:
+        design = row["design"]
+        assert row["#dM1 final"] > row["#dM1 init"], design
+        assert row["RWL %"] <= 0.2, design
+        assert row["WNS final (ns)"] >= row["WNS init (ns)"] - 0.005, (
+            design
+        )
+        assert row["#DRV final"] <= row["#DRV init"] + 1, design
+
+    # Cross-architecture shape (Table 2's headline contrast): the
+    # ClosedM1 relative #dM1 gain dwarfs OpenM1's on every design.
+    closed_path = RESULTS_DIR / "table2_closedm1.json"
+    if closed_path.exists():
+        closed = {
+            r["design"]: r for r in json.loads(closed_path.read_text())
+        }
+        for row in rows:
+            ref = closed.get(row["design"])
+            if ref is None:
+                continue
+            open_gain = row["#dM1 final"] / max(row["#dM1 init"], 1)
+            closed_gain = ref["#dM1 final"] / max(ref["#dM1 init"], 1)
+            assert closed_gain > open_gain, row["design"]

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Explore the α tradeoff on a small design (the paper's Figure 6).
+
+α prices one pin alignment in HPWL units: the MILP accepts up to α
+DBU of HPWL growth to gain one more direct-vertical-M1 opportunity.
+This example sweeps α and prints an ASCII chart of routed wirelength
+and #dM1, reproducing the non-monotonic RWL shape the paper uses to
+pick α = 1200.
+
+Run:  python examples/alpha_tradeoff.py
+"""
+
+from repro.eval import EvalScale, expt_a2_alpha_sweep
+
+
+def spark(values, width=40) -> list[str]:
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return ["#" * (1 + int((v - lo) / span * (width - 1))) for v in values]
+
+
+def main() -> None:
+    scale = EvalScale.quick()
+    rows = expt_a2_alpha_sweep(
+        scale, alphas=(0.0, 300.0, 1200.0, 3000.0, 6000.0)
+    )
+    print(f"{'alpha':>8s} {'RWL (um)':>10s} {'#dM1':>6s}")
+    for row in rows:
+        print(
+            f"{str(row['alpha']):>8s} {row['RWL (um)']:>10.1f} "
+            f"{row['#dM1']:>6d}"
+        )
+
+    swept = rows[1:]
+    print("\nRWL (lower is better):")
+    for row, bar in zip(swept, spark([r["RWL (um)"] for r in swept])):
+        print(f"  a={str(row['alpha']):>6s} |{bar}")
+    print("\n#dM1 (higher means more direct vertical M1 routes):")
+    for row, bar in zip(swept, spark([r["#dM1"] for r in swept])):
+        print(f"  a={str(row['alpha']):>6s} |{bar}")
+    print(
+        "\nNote the paper's observation: #dM1 keeps rising with alpha,"
+        "\nbut RWL bottoms out at a moderate alpha — maximizing"
+        "\nalignments is not the same as minimizing wirelength."
+    )
+
+
+if __name__ == "__main__":
+    main()

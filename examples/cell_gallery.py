@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Render library cells as ASCII layouts (the paper's Figure 1).
+
+Draws the pin geometry of a macro under each of the three cell
+architectures, making the architectural contrast visible: vertical M1
+stripes (ClosedM1), horizontal M0 bars (OpenM1), and M1 rails plus
+horizontal pins (conventional 12-track).
+
+Also writes the generated libraries to LEF next to this script.
+
+Run:  python examples/cell_gallery.py [MACRO_NAME]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.lefdef import write_lef
+from repro.library import build_library
+from repro.tech import CellArchitecture, make_tech
+
+#: ASCII canvas resolution, in DBU per character cell.
+X_STEP = 18
+Y_STEP = 27
+
+
+def render(macro, tech) -> str:
+    width_chars = macro.width // X_STEP + 1
+    height_chars = macro.height // Y_STEP + 1
+    canvas = [
+        [" "] * width_chars for _ in range(height_chars)
+    ]
+    for pin_name, pin in sorted(macro.pins.items()):
+        symbol = pin_name[0].lower() if pin.direction.value in (
+            "POWER", "GROUND"
+        ) else pin_name[0].upper()
+        for shape in pin.shapes:
+            r = shape.rect
+            for y in range(r.ylo // Y_STEP, min(r.yhi // Y_STEP + 1,
+                                                height_chars)):
+                for x in range(r.xlo // X_STEP,
+                               min(r.xhi // X_STEP + 1, width_chars)):
+                    canvas[y][x] = symbol
+    rows = ["".join(row) for row in reversed(canvas)]
+    border = "+" + "-" * width_chars + "+"
+    body = "\n".join("|" + row + "|" for row in rows)
+    return f"{border}\n{body}\n{border}"
+
+
+def main() -> None:
+    base_name = sys.argv[1] if len(sys.argv) > 1 else "NAND2_X1_RVT"
+    out_dir = Path(__file__).parent
+    for arch in CellArchitecture:
+        tech = make_tech(arch)
+        library = build_library(tech)
+        macro = library.macro(base_name)
+        print(f"\n=== {base_name} / {arch.value} "
+              f"({macro.width_sites} sites x {tech.row_height} nm, "
+              f"pins on M{arch.pin_layer_index}) ===")
+        print(render(macro, tech))
+        blocked = sorted(macro.m1_blocked_columns)
+        print(f"M1-blocked columns: {blocked if blocked else 'none'}")
+        lef_path = out_dir / f"library_{arch.value}.lef"
+        lef_path.write_text(write_lef(library))
+        print(f"wrote {lef_path.name}")
+
+
+if __name__ == "__main__":
+    main()

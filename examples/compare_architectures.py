@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare the three cell architectures on the same workload.
+
+The paper's core claim (§1, §5) is that the benefit of vertical-M1-
+aware placement depends on the cell architecture: ClosedM1 gains the
+most (direct M1 routes are free), OpenM1 gains moderately (M1 is open
+but direct routes can block pin access), and the conventional
+12-track template cannot use inter-row M1 at all.
+
+This example runs the identical netlist profile under each template
+and prints the resulting contrast.
+
+Run:  python examples/compare_architectures.py
+"""
+
+from repro.flow import FlowConfig, run_flow
+from repro.tech import CellArchitecture
+
+
+def run_one(arch: CellArchitecture):
+    config = FlowConfig(
+        profile="aes",
+        arch=arch,
+        scale=0.025,
+        seed=1,
+        window_um=1.25,
+        time_limit=4.0,
+        # The conventional template has no alignment objective, so
+        # skip its (pointless) optimization and report route-only.
+        optimize=arch.supports_direct_m1,
+    )
+    return run_flow(config)
+
+
+def main() -> None:
+    print("arch       #dM1 init -> final    RWL change    #via12 change")
+    for arch in (
+        CellArchitecture.CONV_12T,
+        CellArchitecture.CLOSED_M1,
+        CellArchitecture.OPEN_M1,
+    ):
+        result = run_one(arch)
+        init = result.init_route
+        if result.final_route is None:
+            print(
+                f"{arch.value:<11s}{init.num_dm1:>5d}   (no inter-row"
+                " M1: optimization not applicable)"
+            )
+            continue
+        final = result.final_route
+        rwl = 100 * (
+            final.routed_wirelength - init.routed_wirelength
+        ) / init.routed_wirelength
+        via = 100 * (final.num_via12 - init.num_via12) / init.num_via12
+        print(
+            f"{arch.value:<11s}{init.num_dm1:>5d} -> {final.num_dm1:<8d}"
+            f"{rwl:>8.1f}%    {via:>8.1f}%"
+        )
+    print(
+        "\nExpected contrast (paper Table 2): ClosedM1 multiplies #dM1"
+        "\nseveral-fold and wins the most RWL/via12; OpenM1 improves"
+        "\nmodestly; conventional cells cannot route M1 between rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

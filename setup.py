@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the
+``wheel`` package (offline environment has no PEP 517 backend deps)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Baseline detailed placers from the paper's related-work section.
+
+The paper (§2) contrasts its MILP with dynamic-programming single-row
+approaches [Kahng et al. 99, Hur & Lillis 00]: efficient for
+wirelength, but unable to express *inter-row* objectives such as
+vertical M1 alignment.  :mod:`repro.baseline.row_dp` implements that
+class of optimizer — ordered single-row placement with optimal
+positions under HPWL — so the contrast can be measured: the DP
+baseline improves HPWL/RWL but leaves #dM1 essentially unchanged,
+while the windowed MILP improves both.
+"""
+
+from repro.baseline.row_dp import RowDpResult, row_dp_refine
+
+__all__ = ["RowDpResult", "row_dp_refine"]

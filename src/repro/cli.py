@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``repro generate`` — synthesize a benchmark, place it, and write
+  LEF / DEF / structural Verilog to a directory.
+* ``repro flow`` — run the full flow (place → route → VM1Opt →
+  re-route) and print the Table 2-style row; optionally dump
+  before/after DEF and SVG views.
+* ``repro experiment`` — run one paper experiment (fig5/fig6/fig7/
+  table2/fig8) at a chosen scale preset and print the markdown table.
+
+Run ``repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.eval import (
+    EvalScale,
+    expt_a1_window_sweep,
+    expt_a2_alpha_sweep,
+    expt_a3_sequences,
+    expt_b_fig8_drv_sweep,
+    expt_b_table2,
+    render_markdown_table,
+)
+from repro.flow import FlowConfig, run_flow, table2_row
+from repro.lefdef import write_def, write_lef
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.netlist.verilog import write_verilog
+from repro.placement import place_design
+from repro.tech import CellArchitecture, make_tech
+
+_ARCHS = {arch.value: arch for arch in CellArchitecture}
+_PRESETS = {
+    "quick": EvalScale.quick,
+    "default": EvalScale,
+    "paper": EvalScale.paper,
+}
+
+
+def _add_common_design_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="aes",
+        choices=("m0", "aes", "jpeg", "vga"),
+        help="benchmark profile (Table 2 designs)",
+    )
+    parser.add_argument(
+        "--arch", default="closedm1", choices=sorted(_ARCHS),
+        help="cell architecture",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="instance-count scale (1.0 = paper size)",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.75,
+        help="placement utilization target",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    tech = make_tech(_ARCHS[args.arch])
+    library = build_library(tech)
+    design = generate_design(
+        args.profile, tech, library, scale=args.scale,
+        utilization=args.utilization, seed=args.seed,
+    )
+    place_design(design, seed=args.seed)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{design.name}.lef").write_text(write_lef(library))
+    (out / f"{design.name}.def").write_text(write_def(design))
+    (out / f"{design.name}.v").write_text(write_verilog(design))
+    print(
+        f"{design.name}: {len(design.instances)} instances, "
+        f"{len(design.nets)} nets -> {out}/"
+    )
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    config = FlowConfig(
+        profile=args.profile,
+        arch=_ARCHS[args.arch],
+        scale=args.scale,
+        utilization=args.utilization,
+        seed=args.seed,
+        window_um=args.window_um,
+        lx=args.lx,
+        ly=args.ly,
+        time_limit=args.time_limit,
+    )
+    result = run_flow(config)
+    row = table2_row(result)
+    if args.json:
+        print(json.dumps(row, indent=1, default=str))
+    else:
+        print(render_markdown_table([row]))
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "post.def").write_text(write_def(result.design))
+        from repro.viz import render_design_svg
+
+        (out / "layout_opt.svg").write_text(
+            render_design_svg(result.design)
+        )
+        print(f"artifacts -> {out}/")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = _PRESETS[args.preset]()
+    runners = {
+        "fig5": lambda: expt_a1_window_sweep(scale),
+        "fig6": lambda: expt_a2_alpha_sweep(scale),
+        "fig7": lambda: expt_a3_sequences(scale),
+        "table2": lambda: expt_b_table2(scale),
+        "fig8": lambda: expt_b_fig8_drv_sweep(scale),
+    }
+    rows = runners[args.which]()
+    print(render_markdown_table(rows))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(rows, indent=1, default=str)
+        )
+        print(f"rows -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Vertical M1 routing-aware detailed placement "
+            "(DAC 2017 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="generate + place a benchmark; write LEF/DEF/V"
+    )
+    _add_common_design_args(gen)
+    gen.add_argument("--out", default="out", help="output directory")
+    gen.set_defaults(func=_cmd_generate)
+
+    flow = sub.add_parser("flow", help="run the full optimization flow")
+    _add_common_design_args(flow)
+    flow.add_argument("--window-um", type=float, default=1.25)
+    flow.add_argument("--lx", type=int, default=4)
+    flow.add_argument("--ly", type=int, default=1)
+    flow.add_argument("--time-limit", type=float, default=4.0)
+    flow.add_argument("--json", action="store_true")
+    flow.add_argument("--out", default="", help="artifact directory")
+    flow.set_defaults(func=_cmd_flow)
+
+    expt = sub.add_parser(
+        "experiment", help="run one paper experiment"
+    )
+    expt.add_argument(
+        "which", choices=("fig5", "fig6", "fig7", "table2", "fig8")
+    )
+    expt.add_argument(
+        "--preset", default="quick", choices=sorted(_PRESETS)
+    )
+    expt.add_argument("--out", default="", help="JSON rows output path")
+    expt.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Alignment-opportunity analysis.
+
+Answers the question the optimizer's α knob depends on: *how much
+direct-vertical-M1 headroom does a placement have?*  For every
+same-net pin pair within the γ row span it records the x mismatch
+(ClosedM1) or overlap/gap (OpenM1), yielding:
+
+* the realized alignment count (mismatch 0 / overlap ≥ δ),
+* the reachable count under a given perturbation budget (|dx| ≤ lx
+  sites closes the mismatch), and
+* a mismatch histogram — the paper's Figure 6 sensitivity is exactly
+  this distribution priced by α.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.params import OptParams
+from repro.netlist.design import Design
+from repro.tech.arch import AlignmentMode
+
+
+@dataclass
+class OpportunityReport:
+    """Direct-vertical-M1 headroom of one placement.
+
+    ``mismatch_histogram`` maps |dx| in sites (ClosedM1) or the
+    overlap shortfall in sites (OpenM1; 0 = already overlapped) to
+    pair counts.
+    """
+
+    pairs_in_span: int = 0
+    realized: int = 0
+    reachable: int = 0
+    mismatch_histogram: Counter = field(default_factory=Counter)
+
+    @property
+    def realized_fraction(self) -> float:
+        return self.realized / self.pairs_in_span if (
+            self.pairs_in_span
+        ) else 0.0
+
+    @property
+    def reachable_fraction(self) -> float:
+        return self.reachable / self.pairs_in_span if (
+            self.pairs_in_span
+        ) else 0.0
+
+
+def analyze_opportunities(
+    design: Design,
+    params: OptParams,
+    *,
+    budget_sites: int = 4,
+) -> OpportunityReport:
+    """Measure dM1 headroom under a ±``budget_sites`` x-perturbation.
+
+    The reachability test is an optimistic per-pair bound (it ignores
+    legality interactions between pairs), which is exactly what makes
+    it useful: realized/reachable quantifies how much of the headroom
+    the optimizer has banked.
+    """
+    mode = design.tech.arch.alignment_mode
+    report = OpportunityReport()
+    if mode is AlignmentMode.NONE:
+        return report
+    tech = design.tech
+    span = params.gamma * tech.row_height
+    budget_dbu = budget_sites * tech.site_width
+
+    for _, net in sorted(design.nets.items()):
+        if not 2 <= net.degree <= params.max_net_degree:
+            continue
+        pins = net.pins
+        for i in range(len(pins)):
+            for j in range(i + 1, len(pins)):
+                if pins[i].instance == pins[j].instance:
+                    continue
+                inst_p = design.instances[pins[i].instance]
+                inst_q = design.instances[pins[j].instance]
+                p = inst_p.pin_position(pins[i].pin)
+                q = inst_q.pin_position(pins[j].pin)
+                if abs(p.y - q.y) > span:
+                    continue
+                report.pairs_in_span += 1
+                if mode is AlignmentMode.ALIGN:
+                    mismatch = abs(p.x - q.x)
+                    shortfall_sites = mismatch // tech.site_width
+                else:
+                    iv_p = inst_p.pin_x_interval(pins[i].pin)
+                    iv_q = inst_q.pin_x_interval(pins[j].pin)
+                    shortfall = params.delta - iv_p.overlap_length(
+                        iv_q
+                    )
+                    mismatch = max(0, shortfall)
+                    shortfall_sites = -(-mismatch // tech.site_width)
+                report.mismatch_histogram[shortfall_sites] += 1
+                if mismatch == 0:
+                    report.realized += 1
+                    report.reachable += 1
+                elif mismatch <= 2 * budget_dbu:
+                    # Both cells may move toward each other.
+                    report.reachable += 1
+    return report

@@ -1,0 +1,153 @@
+"""Algorithm 2: DistOpt — distributable window optimization.
+
+Windows are partitioned, grouped into independently-optimizable
+families (disjoint x/y projections, §4.1), and each family's windows
+are solved as separate MILPs.  Execution here is sequential — the
+container has one core — but because family members are provably
+independent, the *modeled parallel wall-clock* (sum over families of
+the slowest window) is also reported; it is what an 8-thread run of
+the paper's flow would see.
+
+Every applied window solution is guarded: the local objective
+(HPWL − α·alignments over the window's touched nets) is recomputed
+after the move and the move is reverted if it did not improve — this
+protects against time-limited solves returning a worse incumbent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.formulation import (
+    WindowProblem,
+    apply_solution,
+    build_window_model,
+)
+from repro.core.objective import calculate_objective
+from repro.core.params import OptParams
+from repro.core.window import independent_families, partition
+from repro.milp.highs_backend import HighsBackend
+from repro.netlist.design import Design
+
+
+@dataclass
+class DistOptResult:
+    """Outcome of one DistOpt invocation."""
+
+    objective: float
+    moved_cells: int = 0
+    windows_built: int = 0
+    windows_applied: int = 0
+    windows_reverted: int = 0
+    pairs_considered: int = 0
+    wall_seconds: float = 0.0
+    modeled_parallel_seconds: float = 0.0
+    family_count: int = 0
+
+
+def dist_opt(
+    design: Design,
+    params: OptParams,
+    *,
+    tx: int,
+    ty: int,
+    bw: int,
+    bh: int,
+    lx: int,
+    ly: int,
+    allow_flip: bool,
+    solver=None,
+) -> DistOptResult:
+    """Run one DistOpt pass over the whole design.
+
+    Args:
+        design: placed design, modified in place.
+        params: objective weights.
+        tx/ty: window grid offset in DBU (Algorithm 1 line 9 shifts).
+        bw/bh: window width/height in DBU.
+        lx/ly: per-cell perturbation range (sites/rows).
+        allow_flip: enable the flip degree of freedom (the f input).
+        solver: MILP backend; defaults to HiGHS with the params' time
+            limit.
+
+    Returns:
+        A :class:`DistOptResult`; ``objective`` is the global
+        post-pass objective (CalculateObj of Algorithm 2).
+    """
+    if solver is None:
+        solver = HighsBackend(
+            time_limit=params.time_limit, mip_rel_gap=params.mip_gap
+        )
+    started = time.perf_counter()
+    result = DistOptResult(objective=0.0)
+
+    windows = partition(design, tx, ty, bw, bh)
+    families = independent_families(windows)
+    result.family_count = len(families)
+
+    for family in families:
+        slowest = 0.0
+        for window in family:
+            t0 = time.perf_counter()
+            problem = build_window_model(
+                design,
+                window,
+                params,
+                lx=lx,
+                ly=ly,
+                allow_flip=allow_flip,
+            )
+            if problem is None:
+                continue
+            result.windows_built += 1
+            result.pairs_considered += problem.num_pairs
+            moved = _solve_and_apply(design, params, problem, solver,
+                                     result)
+            result.moved_cells += moved
+            slowest = max(slowest, time.perf_counter() - t0)
+        result.modeled_parallel_seconds += slowest
+
+    result.objective = calculate_objective(design, params)
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _solve_and_apply(
+    design: Design,
+    params: OptParams,
+    problem: WindowProblem,
+    solver,
+    result: DistOptResult,
+) -> int:
+    """Solve one window and apply its solution behind the local-
+    objective guard; returns the number of cells moved."""
+    solution = solver.solve(problem.model)
+    if not solution.status.has_solution:
+        return 0
+
+    nets = [design.nets[name] for name in problem.nets]
+    before_local = calculate_objective(design, params, nets)
+    snapshot = {
+        name: _placement_of(design, name) for name in problem.movable
+    }
+    try:
+        moved = apply_solution(design, problem, solution)
+    except ValueError:
+        return 0
+    if moved == 0:
+        return 0
+    after_local = calculate_objective(design, params, nets)
+    if after_local > before_local - 1e-9:
+        for name, state in snapshot.items():
+            inst = design.instances[name]
+            inst.x, inst.y, inst.orientation = state
+        result.windows_reverted += 1
+        return 0
+    result.windows_applied += 1
+    return moved
+
+
+def _placement_of(design: Design, name: str):
+    inst = design.instances[name]
+    return (inst.x, inst.y, inst.orientation)

@@ -1,0 +1,463 @@
+"""Window MILP construction: the §3.1 / §3.2 formulations.
+
+Given one window, the model selects an SCP candidate per movable cell
+(λ binaries, constraints (5)–(8) folded into candidate constants),
+packs cells onto sites (constraint (9)), tracks each touched net's
+HPWL through min/max coordinate variables (constraints (2)–(3)), and
+scores direct-vertical-M1 opportunities:
+
+* ClosedM1 — a binary d_pq per candidate-feasible same-net pin pair
+  with the big-M alignment test of constraint (4), generalized from H
+  to γ·H.
+* OpenM1 — overlap variables a/b/o_pq and the escape binary v_pq with
+  constraints (11)–(14); d_pq = 1 requires overlap ≥ δ within the γ
+  row span, and the overlap length o_pq is rewarded with ε.
+
+Pin pairs that can never align/overlap under any candidate combination
+are pruned before a variable is created (sound pruning: only provably
+d_pq = 0 pairs are dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import OptParams
+from repro.core.scp import Candidate, enumerate_candidates
+from repro.core.window import Window
+from repro.milp.model import LinExpr, Model, Var
+from repro.milp.solution import Solution
+from repro.netlist.design import Design, Net, PinRef
+from repro.tech.arch import AlignmentMode
+
+
+@dataclass
+class _PinExpr:
+    """Linear expressions for one pin's absolute geometry.
+
+    For fixed pins the expressions are constants; for movable pins
+    they are affine in the owner cell's λ variables.
+    """
+
+    x: LinExpr
+    y: LinExpr
+    x_lo: LinExpr  # xmin_p (OpenM1 interval left)
+    x_hi: LinExpr  # xmax_p (OpenM1 interval right)
+    x_values: tuple[int, ...]  # attainable x coordinates (pruning)
+    y_values: tuple[int, ...]
+    lo_min: int
+    hi_max: int
+    movable: bool
+
+
+@dataclass
+class WindowProblem:
+    """A built window MILP plus the data needed to apply its result."""
+
+    window: Window
+    model: Model
+    movable: list[str]
+    candidates: dict[str, list[Candidate]]
+    lambda_vars: dict[str, list[Var]]
+    d_vars: list[Var] = field(default_factory=list)
+    nets: list[str] = field(default_factory=list)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.d_vars)
+
+
+def build_window_model(
+    design: Design,
+    window: Window,
+    params: OptParams,
+    *,
+    lx: int,
+    ly: int,
+    allow_flip: bool,
+) -> WindowProblem | None:
+    """Build the MILP for ``window``; None when nothing is optimizable."""
+    movable_insts = [
+        inst
+        for inst in design.instances_in(window.rect)
+        if not inst.fixed
+    ]
+    if not movable_insts:
+        return None
+    movable_names = [inst.name for inst in movable_insts]
+    movable_set = set(movable_names)
+
+    blocked = _blocked_sites(design, window, movable_set)
+    model = Model(f"win({window.ix},{window.iy})")
+
+    candidates: dict[str, list[Candidate]] = {}
+    lambda_vars: dict[str, list[Var]] = {}
+    site_cover: dict[tuple[int, int], list[Var]] = {}
+    for inst in movable_insts:
+        cands = [
+            cand
+            for cand in enumerate_candidates(
+                design, inst, window.rect, lx=lx, ly=ly,
+                allow_flip=allow_flip,
+            )
+            if not any(
+                site in blocked
+                for site in cand.covered_sites(inst.macro.width_sites)
+            )
+        ]
+        if not cands:  # should not happen: identity is always legal
+            return None
+        candidates[inst.name] = cands
+        lams = [
+            model.add_binary(f"lam[{inst.name},{k}]")
+            for k in range(len(cands))
+        ]
+        lambda_vars[inst.name] = lams
+        model.add_constraint(
+            LinExpr.total(lams).equals(1.0), name=f"sel[{inst.name}]"
+        )
+        for cand, lam in zip(cands, lams):
+            for site in cand.covered_sites(inst.macro.width_sites):
+                site_cover.setdefault(site, []).append(lam)
+
+    for site, lams in sorted(site_cover.items()):
+        if len(lams) > 1:
+            model.add_constraint(
+                LinExpr.total(lams) <= 1.0,
+                name=f"site[{site[0]},{site[1]}]",
+            )
+
+    nets = _touched_nets(design, movable_set)
+    pin_exprs = _pin_expressions(
+        design, nets, movable_set, candidates, lambda_vars
+    )
+
+    objective = LinExpr()
+    for net in nets:
+        objective = objective + params.beta_of(net.name) * _hpwl_expr(
+            design, model, net, pin_exprs
+        )
+
+    mode = design.tech.arch.alignment_mode
+    d_vars: list[Var] = []
+    if mode is not AlignmentMode.NONE and params.alpha > 0:
+        span = params.gamma * design.tech.row_height
+        for net in nets:
+            if not 2 <= net.degree <= params.max_net_degree:
+                continue
+            for ref_p, ref_q in _movable_pairs(net, movable_set):
+                p = pin_exprs[ref_p]
+                q = pin_exprs[ref_q]
+                if mode is AlignmentMode.ALIGN:
+                    d = _closedm1_pair(model, p, q, span, ref_p, ref_q)
+                    if d is not None:
+                        d_vars.append(d)
+                        objective = objective - params.alpha * d
+                else:
+                    built = _openm1_pair(
+                        model, p, q, span, params.delta, ref_p, ref_q
+                    )
+                    if built is not None:
+                        d, overlap = built
+                        d_vars.append(d)
+                        objective = (
+                            objective
+                            - params.alpha * d
+                            - params.epsilon * overlap
+                        )
+
+    model.minimize(objective)
+    return WindowProblem(
+        window=window,
+        model=model,
+        movable=movable_names,
+        candidates=candidates,
+        lambda_vars=lambda_vars,
+        d_vars=d_vars,
+        nets=[net.name for net in nets],
+    )
+
+
+def apply_solution(
+    design: Design, problem: WindowProblem, solution: Solution
+) -> int:
+    """Write the selected candidates back into ``design``.
+
+    Returns the number of instances whose placement changed.
+
+    Raises:
+        ValueError: if any cell has no selected candidate (corrupt
+            solution) — the design is left untouched in that case.
+    """
+    chosen: dict[str, Candidate] = {}
+    for name in problem.movable:
+        cands = problem.candidates[name]
+        lams = problem.lambda_vars[name]
+        picked = [
+            cand
+            for cand, lam in zip(cands, lams)
+            if solution.is_one(lam)
+        ]
+        if len(picked) != 1:
+            raise ValueError(
+                f"{name}: {len(picked)} candidates selected"
+            )
+        chosen[name] = picked[0]
+    moved = 0
+    for name, cand in chosen.items():
+        inst = design.instances[name]
+        if (inst.x, inst.y, inst.orientation) != (
+            cand.x,
+            cand.y,
+            cand.orientation,
+        ):
+            moved += 1
+        design.place(name, cand.column, cand.row, cand.flipped)
+    return moved
+
+
+# ---------------------------------------------------------------- helpers
+def _blocked_sites(
+    design: Design, window: Window, movable: set[str]
+) -> set[tuple[int, int]]:
+    """Sites inside the window footprinted by cells we may not move
+    (boundary-straddling or fixed cells)."""
+    tech = design.tech
+    blocked: set[tuple[int, int]] = set()
+    probe = window.rect.expanded(
+        max(tech.site_width * 64, tech.row_height * 4)
+    )
+    for name, inst in sorted(design.instances.items()):
+        if name in movable:
+            continue
+        if not inst.bbox.overlaps_open(probe):
+            continue
+        row = design.row_of(inst)
+        col = design.column_of(inst)
+        for c in range(col, col + inst.macro.width_sites):
+            blocked.add((row, c))
+    return blocked
+
+
+def _touched_nets(design: Design, movable: set[str]) -> list[Net]:
+    nets = design.nets_of_instances(movable)
+    return [net for net in nets if not net.is_trivial()]
+
+
+def _pin_expressions(
+    design: Design,
+    nets: list[Net],
+    movable: set[str],
+    candidates: dict[str, list[Candidate]],
+    lambda_vars: dict[str, list[Var]],
+) -> dict[PinRef, _PinExpr]:
+    exprs: dict[PinRef, _PinExpr] = {}
+    for net in nets:
+        for ref in net.pins:
+            if ref in exprs:
+                continue
+            inst = design.instances[ref.instance]
+            pin = inst.macro.pin(ref.pin)
+            if ref.instance in movable:
+                x = LinExpr()
+                x_lo = LinExpr()
+                x_hi = LinExpr()
+                y = LinExpr()
+                xs: list[int] = []
+                ys: list[int] = []
+                lo_min = None
+                hi_max = None
+                for cand, lam in zip(
+                    candidates[ref.instance], lambda_vars[ref.instance]
+                ):
+                    xp = cand.orientation.transform_x(
+                        pin.x_rel, inst.width
+                    )
+                    iv = cand.orientation.transform_x_interval(
+                        pin.x_interval_rel, inst.width
+                    )
+                    px = cand.x + xp
+                    py = cand.y + pin.y_rel
+                    x = x + lam * px
+                    y = y + lam * py
+                    x_lo = x_lo + lam * (cand.x + iv.lo)
+                    x_hi = x_hi + lam * (cand.x + iv.hi)
+                    xs.append(px)
+                    ys.append(py)
+                    lo = cand.x + iv.lo
+                    hi = cand.x + iv.hi
+                    lo_min = lo if lo_min is None else min(lo_min, lo)
+                    hi_max = hi if hi_max is None else max(hi_max, hi)
+                exprs[ref] = _PinExpr(
+                    x=x,
+                    y=y,
+                    x_lo=x_lo,
+                    x_hi=x_hi,
+                    x_values=tuple(sorted(set(xs))),
+                    y_values=tuple(sorted(set(ys))),
+                    lo_min=lo_min or 0,
+                    hi_max=hi_max or 0,
+                    movable=True,
+                )
+            else:
+                pos = inst.pin_position(ref.pin)
+                iv = inst.pin_x_interval(ref.pin)
+                exprs[ref] = _PinExpr(
+                    x=LinExpr.of(float(pos.x)),
+                    y=LinExpr.of(float(pos.y)),
+                    x_lo=LinExpr.of(float(iv.lo)),
+                    x_hi=LinExpr.of(float(iv.hi)),
+                    x_values=(pos.x,),
+                    y_values=(pos.y,),
+                    lo_min=iv.lo,
+                    hi_max=iv.hi,
+                    movable=False,
+                )
+    return exprs
+
+
+def _hpwl_expr(
+    design: Design,
+    model: Model,
+    net: Net,
+    pin_exprs: dict[PinRef, _PinExpr],
+) -> LinExpr:
+    """Constraints (2)-(3): net bounding-box variables; returns wn."""
+    fixed_xs = [p.x for p in net.pads]
+    fixed_ys = [p.y for p in net.pads]
+    movable_refs = []
+    for ref in net.pins:
+        expr = pin_exprs[ref]
+        if expr.movable:
+            movable_refs.append(ref)
+        else:
+            fixed_xs.append(expr.x_values[0])
+            fixed_ys.append(expr.y_values[0])
+
+    if not movable_refs:
+        width = (max(fixed_xs) - min(fixed_xs)) if fixed_xs else 0
+        height = (max(fixed_ys) - min(fixed_ys)) if fixed_ys else 0
+        return LinExpr.of(float(width + height))
+
+    # Tight variable bounds double as the fixed-terminal constraints.
+    all_x = [v for ref in movable_refs for v in pin_exprs[ref].x_values]
+    all_y = [v for ref in movable_refs for v in pin_exprs[ref].y_values]
+    all_x.extend(fixed_xs)
+    all_y.extend(fixed_ys)
+    fx_max = max(fixed_xs) if fixed_xs else min(all_x)
+    fx_min = min(fixed_xs) if fixed_xs else max(all_x)
+    fy_max = max(fixed_ys) if fixed_ys else min(all_y)
+    fy_min = min(fixed_ys) if fixed_ys else max(all_y)
+
+    x_max = model.add_continuous(f"xmax[{net.name}]", fx_max, max(all_x))
+    x_min = model.add_continuous(f"xmin[{net.name}]", min(all_x), fx_min)
+    y_max = model.add_continuous(f"ymax[{net.name}]", fy_max, max(all_y))
+    y_min = model.add_continuous(f"ymin[{net.name}]", min(all_y), fy_min)
+    for ref in movable_refs:
+        expr = pin_exprs[ref]
+        model.add_constraint(x_max - expr.x >= 0.0)
+        model.add_constraint(x_min - expr.x <= 0.0)
+        model.add_constraint(y_max - expr.y >= 0.0)
+        model.add_constraint(y_min - expr.y <= 0.0)
+    return (x_max - x_min) + (y_max - y_min)
+
+
+def _movable_pairs(net: Net, movable: set[str]):
+    """Same-net pin pairs on distinct instances, at least one movable."""
+    pins = net.pins
+    for i in range(len(pins)):
+        for j in range(i + 1, len(pins)):
+            if pins[i].instance == pins[j].instance:
+                continue
+            if pins[i].instance in movable or pins[j].instance in movable:
+                yield pins[i], pins[j]
+
+
+def _closedm1_pair(
+    model: Model,
+    p: _PinExpr,
+    q: _PinExpr,
+    span: int,
+    ref_p: PinRef,
+    ref_q: PinRef,
+) -> Var | None:
+    """Constraint (4) with a γ·H vertical window; None when pruned."""
+    if not set(p.x_values) & set(q.x_values):
+        return None
+    if _interval_gap(p.y_values, q.y_values) > span:
+        return None
+    g_x = max(p.x_values[-1] - q.x_values[0], q.x_values[-1] - p.x_values[0])
+    g_y = (
+        max(p.y_values[-1] - q.y_values[0], q.y_values[-1] - p.y_values[0])
+        + span
+    )
+    d = model.add_binary(f"d[{_pair_name(ref_p, ref_q)}]")
+    dx = p.x - q.x
+    dy = p.y - q.y
+    model.add_constraint(dx + g_x * d <= g_x)
+    model.add_constraint(dx - g_x * d >= -g_x)
+    model.add_constraint(dy + g_y * d <= g_y + span)
+    model.add_constraint(dy - g_y * d >= -(g_y + span))
+    return d
+
+
+def _openm1_pair(
+    model: Model,
+    p: _PinExpr,
+    q: _PinExpr,
+    span: int,
+    delta: int,
+    ref_p: PinRef,
+    ref_q: PinRef,
+) -> tuple[Var, Var] | None:
+    """Constraints (11)-(14); returns (d, o) or None when pruned."""
+    best_overlap = min(p.hi_max, q.hi_max) - max(p.lo_min, q.lo_min)
+    if best_overlap < delta:
+        return None
+    if _interval_gap(p.y_values, q.y_values) > span:
+        return None
+    name = _pair_name(ref_p, ref_q)
+    a = model.add_continuous(
+        f"a[{name}]", max(p.lo_min, q.lo_min), float("inf")
+    )
+    b = model.add_continuous(
+        f"b[{name}]", -float("inf"), min(p.hi_max, q.hi_max)
+    )
+    model.add_constraint(a - p.x_lo >= 0.0)
+    model.add_constraint(a - q.x_lo >= 0.0)
+    model.add_constraint(b - p.x_hi <= 0.0)
+    model.add_constraint(b - q.x_hi <= 0.0)
+
+    d = model.add_binary(f"d[{name}]")
+    v = model.add_binary(f"v[{name}]")
+    g_y = (
+        max(p.y_values[-1] - q.y_values[0], q.y_values[-1] - p.y_values[0])
+        + span
+    )
+    dy = p.y - q.y
+    model.add_constraint(dy - g_y * v <= span)
+    model.add_constraint(dy + g_y * v >= -span)
+    model.add_constraint(d + v <= 1.0)
+
+    o_cap = max(0.0, float(best_overlap - delta))
+    # Relaxation constant for constraint (13): when d = 0 the bound
+    # must stay slack even for the most disjoint candidate choice, so
+    # it covers the full x-span of both pins plus δ.
+    g_13 = float(
+        max(p.hi_max, q.hi_max) - min(p.lo_min, q.lo_min) + delta
+    )
+    o = model.add_continuous(f"o[{name}]", 0.0, o_cap)
+    model.add_constraint(o - (b - a) - g_13 * (1.0 - d) <= -delta)
+    model.add_constraint(o - o_cap * d <= 0.0)
+    return d, o
+
+
+def _interval_gap(
+    p_values: tuple[int, ...], q_values: tuple[int, ...]
+) -> int:
+    """Minimum attainable |py - qy| given attainable value ranges."""
+    return max(p_values[0] - q_values[-1], q_values[0] - p_values[-1], 0)
+
+
+def _pair_name(ref_p: PinRef, ref_q: PinRef) -> str:
+    return f"{ref_p.instance}.{ref_p.pin}|{ref_q.instance}.{ref_q.pin}"

@@ -1,0 +1,113 @@
+"""Global objective evaluation (CalculateObj of Algorithm 2).
+
+The same predicate the MILP encodes, evaluated on a concrete
+placement: ClosedM1 counts exactly-aligned same-net pin pairs within
+the γ-row span; OpenM1 counts pin pairs whose x-projections overlap by
+at least δ within the γ-row span, plus the total overlap length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import OptParams
+from repro.netlist.design import Design, Net
+from repro.tech.arch import AlignmentMode
+
+
+@dataclass(frozen=True)
+class AlignmentStats:
+    """Counted alignments/overlaps at the current placement."""
+
+    num_aligned: int
+    total_overlap: int
+
+
+def _net_pairs(design: Design, net: Net):
+    """Yield same-net pin pairs on distinct instances."""
+    pins = net.pins
+    for i in range(len(pins)):
+        for j in range(i + 1, len(pins)):
+            if pins[i].instance != pins[j].instance:
+                yield pins[i], pins[j]
+
+
+def alignment_stats(
+    design: Design,
+    params: OptParams,
+    nets: list[Net] | None = None,
+) -> AlignmentStats:
+    """Count aligned/overlapped pin pairs under ``params``.
+
+    ``nets`` restricts the count to a subset (used for local window
+    objective checks); None means the whole design.
+    """
+    mode = design.tech.arch.alignment_mode
+    if mode is AlignmentMode.NONE:
+        return AlignmentStats(0, 0)
+    if nets is None:
+        nets = [net for _, net in sorted(design.nets.items())]
+    span = params.gamma * design.tech.row_height
+    aligned = 0
+    overlap_total = 0
+    for net in nets:
+        if net.degree < 2 or net.degree > params.max_net_degree:
+            continue
+        for ref_p, ref_q in _net_pairs(design, net):
+            inst_p = design.instances[ref_p.instance]
+            inst_q = design.instances[ref_q.instance]
+            if mode is AlignmentMode.ALIGN:
+                p = inst_p.pin_position(ref_p.pin)
+                q = inst_q.pin_position(ref_q.pin)
+                if p.x == q.x and abs(p.y - q.y) <= span:
+                    aligned += 1
+            else:
+                iv_p = inst_p.pin_x_interval(ref_p.pin)
+                iv_q = inst_q.pin_x_interval(ref_q.pin)
+                dy = abs(
+                    inst_p.pin_position(ref_p.pin).y
+                    - inst_q.pin_position(ref_q.pin).y
+                )
+                if dy > span:
+                    continue
+                overlap = iv_p.overlap_length(iv_q)
+                if overlap >= params.delta:
+                    aligned += 1
+                    overlap_total += overlap - params.delta
+    return AlignmentStats(aligned, overlap_total)
+
+
+def calculate_objective(
+    design: Design,
+    params: OptParams,
+    nets: list[Net] | None = None,
+) -> float:
+    """The paper's objective: β·HPWL − α·(#alignments) − ε·(overlap).
+
+    Lower is better; the ε term only applies to OpenM1.  ``nets``
+    restricts the evaluation to a subset (local window objective).
+    """
+    stats = alignment_stats(design, params, nets)
+    if nets is None:
+        nets_for_hpwl = [
+            net for _, net in sorted(design.nets.items())
+        ]
+    else:
+        nets_for_hpwl = nets
+    if params.net_beta is None:
+        hpwl = sum(
+            params.beta * design.net_hpwl(net)
+            for net in nets_for_hpwl
+            if not net.is_trivial()
+        )
+    else:
+        hpwl = sum(
+            params.beta_of(net.name) * design.net_hpwl(net)
+            for net in nets_for_hpwl
+            if not net.is_trivial()
+        )
+    objective = hpwl
+    objective -= params.alpha * stats.num_aligned
+    if design.tech.arch.alignment_mode is AlignmentMode.OVERLAP:
+        objective -= params.epsilon * stats.total_overlap
+    return objective

@@ -1,0 +1,123 @@
+"""Optimization parameters (Table 1 weights and Algorithm 1 inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.arch import CellArchitecture
+
+
+@dataclass(frozen=True)
+class ParamSet:
+    """One entry of the input sequence U of Algorithm 1.
+
+    Attributes:
+        bw_um: window width in microns.
+        bh_um: window height in microns.
+        lx: maximum x displacement in sites.
+        ly: maximum y displacement in rows.
+    """
+
+    bw_um: float
+    bh_um: float
+    lx: int
+    ly: int
+
+    @classmethod
+    def square(cls, b_um: float, lx: int, ly: int) -> "ParamSet":
+        """Square window shorthand, e.g. ``(20, 4, 1)`` of ExptA-3."""
+        return cls(b_um, b_um, lx, ly)
+
+
+@dataclass(frozen=True)
+class OptParams:
+    """All knobs of the MILP objective and the metaheuristic.
+
+    Defaults follow the paper: α = 1200 (ClosedM1) / 1000 (OpenM1) in
+    DBU of HPWL per alignment, β = 1, γ = 1 (ClosedM1) / 3 (OpenM1),
+    θ = 1%.  δ (minimum OpenM1 overlap) and ε are implementation
+    constants the paper does not publish numerically; defaults are one
+    site width and a small overlap-length reward.
+    """
+
+    alpha: float = 1200.0
+    beta: float = 1.0
+    #: Optional per-net HPWL weight multipliers (β_n = beta *
+    #: net_beta[n]).  The paper's §6 future work (ii) — timing-
+    #: criticality-aware objectives — plugs in here; see
+    #: :func:`repro.timing.criticality.criticality_weights`.
+    net_beta: dict[str, float] | None = None
+    epsilon: float = 0.5
+    gamma: int = 1
+    delta: int = 36
+    theta: float = 0.01
+    sequence: tuple[ParamSet, ...] = field(
+        default_factory=lambda: (ParamSet.square(20.0, 4, 1),)
+    )
+    #: Per-window MILP wall-clock limit in seconds.
+    time_limit: float = 20.0
+    #: Relative MIP optimality gap per window solve.  Windows are
+    #: re-optimized across iterations, so a small non-zero gap trades
+    #: negligible quality for large solver speedups.
+    mip_gap: float = 0.01
+    #: Skip alignment terms for nets with more terminals than this
+    #: (high-fanout nets such as clocks gain nothing from dM1).
+    max_net_degree: int = 16
+
+    def beta_of(self, net_name: str) -> float:
+        """Effective HPWL weight β_n for one net."""
+        if self.net_beta is None:
+            return self.beta
+        return self.beta * self.net_beta.get(net_name, 1.0)
+
+    @classmethod
+    def for_arch(
+        cls,
+        arch: CellArchitecture,
+        *,
+        alpha: float | None = None,
+        sequence: tuple[ParamSet, ...] | None = None,
+        **overrides,
+    ) -> "OptParams":
+        """Paper defaults for ``arch`` (ExptA-2 selected α values)."""
+        if alpha is None:
+            alpha = 1000.0 if arch is CellArchitecture.OPEN_M1 else 1200.0
+        kwargs = dict(
+            alpha=alpha,
+            gamma=arch.default_gamma,
+        )
+        kwargs.update(overrides)
+        if sequence is not None:
+            kwargs["sequence"] = sequence
+        return cls(**kwargs)
+
+
+def default_sequence() -> tuple[ParamSet, ...]:
+    """The preferred sequence of ExptA-3: a single (20, 4, 1) pass."""
+    return (ParamSet.square(20.0, 4, 1),)
+
+
+#: The five optimization sequences compared in ExptA-3 / Figure 7.
+EXPTA3_SEQUENCES: dict[int, tuple[ParamSet, ...]] = {
+    1: (ParamSet.square(20.0, 4, 1),),
+    2: (
+        ParamSet.square(10.0, 3, 1),
+        ParamSet.square(10.0, 4, 0),
+        ParamSet.square(20.0, 4, 0),
+    ),
+    3: (
+        ParamSet.square(10.0, 3, 1),
+        ParamSet.square(20.0, 3, 1),
+        ParamSet.square(20.0, 3, 0),
+    ),
+    4: (
+        ParamSet.square(10.0, 3, 1),
+        ParamSet.square(20.0, 3, 0),
+    ),
+    5: (
+        ParamSet.square(10.0, 3, 1),
+        ParamSet.square(10.0, 3, 0),
+        ParamSet.square(20.0, 3, 1),
+        ParamSet.square(20.0, 3, 0),
+    ),
+}

@@ -1,0 +1,109 @@
+"""Single-cell-placement (SCP) candidate enumeration.
+
+Each candidate λ of a cell bundles a concrete (column, row, flip)
+choice — exactly the SCP variable of [Li & Koh] the paper adopts:
+coordinates x_c^k / y_c^k, orientation f_c^k, and the occupied sites
+s_crq^k all become constants once the candidate is fixed, leaving a
+pure binary selection problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Orientation, Rect
+from repro.netlist.design import Design, Instance
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One legal (column, row, flip) choice for a cell.
+
+    Attributes:
+        column: absolute site column of the cell's left edge.
+        row: absolute row index.
+        flipped: the paper's f_c (x mirror relative to row default).
+        x: absolute origin x in DBU.
+        y: absolute origin y in DBU.
+        orientation: resulting DEF orientation.
+    """
+
+    column: int
+    row: int
+    flipped: bool
+    x: int
+    y: int
+    orientation: Orientation
+
+    def covered_sites(self, width_sites: int):
+        """Yield (row, column) site keys the cell would occupy."""
+        for c in range(self.column, self.column + width_sites):
+            yield (self.row, c)
+
+
+def enumerate_candidates(
+    design: Design,
+    inst: Instance,
+    region: Rect,
+    *,
+    lx: int,
+    ly: int,
+    allow_flip: bool,
+) -> list[Candidate]:
+    """Enumerate SCP candidates for ``inst``.
+
+    Candidates move the cell by at most ``lx`` sites / ``ly`` rows
+    from its current position, optionally toggling the flip state, and
+    must keep the cell footprint inside both ``region`` and the die.
+    The current position (with current flip) is always candidate 0 so
+    the MILP always has a feasible identity solution.
+    """
+    tech = design.tech
+    col0 = design.column_of(inst)
+    row0 = design.row_of(inst)
+    flip0 = inst.flipped
+    width_sites = inst.macro.width_sites
+
+    flips = (flip0,) if not allow_flip else (flip0, not flip0)
+    candidates: list[Candidate] = []
+    seen: set[tuple[int, int, bool]] = set()
+    for flip in flips:
+        for d_row in range(-ly, ly + 1):
+            row = row0 + d_row
+            if not 0 <= row < design.num_rows:
+                continue
+            for d_col in range(-lx, lx + 1):
+                col = col0 + d_col
+                if col < 0 or col + width_sites > design.num_columns:
+                    continue
+                key = (col, row, flip)
+                if key in seen:
+                    continue
+                seen.add(key)
+                x = design.die.xlo + col * tech.site_width
+                y = design.die.ylo + row * tech.row_height
+                footprint = Rect(
+                    x, y, x + inst.width, y + inst.height
+                )
+                if not region.contains_rect(footprint):
+                    continue
+                candidates.append(
+                    Candidate(
+                        column=col,
+                        row=row,
+                        flipped=flip,
+                        x=x,
+                        y=y,
+                        orientation=Orientation.for_row(row, flip),
+                    )
+                )
+    # Keep the identity candidate first for deterministic warm starts.
+    candidates.sort(
+        key=lambda c: (
+            (c.column, c.row, c.flipped) != (col0, row0, flip0),
+            c.row,
+            c.column,
+            c.flipped,
+        )
+    )
+    return candidates

@@ -1,0 +1,86 @@
+"""Layout windowing for the distributable optimization (§4.1).
+
+Windows partition the die; in each parallel iteration only windows
+with pairwise *disjoint projections* on both axes (diagonal families,
+Figure 3) are optimized together, so each window's ΔHPWL is exact and
+the per-window objectives add up (Figure 4 case (b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True)
+class Window:
+    """One optimization window: grid index plus clipped die region."""
+
+    ix: int
+    iy: int
+    rect: Rect
+
+
+def partition(
+    design: Design, tx: int, ty: int, bw: int, bh: int
+) -> list[Window]:
+    """Partition the die into ``bw`` x ``bh`` DBU windows.
+
+    ``tx``/``ty`` shift the window grid (Algorithm 1 line 9 uses
+    shifts so cells stuck on window boundaries in one iteration fall
+    inside a window in the next).  Windows are clipped to the die;
+    degenerate slivers thinner than one site/row are dropped.
+    """
+    die = design.die
+    tx %= bw
+    ty %= bh
+    windows: list[Window] = []
+    x_starts: list[int] = []
+    x = die.xlo + tx - (bw if tx else 0)
+    while x < die.xhi:
+        x_starts.append(x)
+        x += bw
+    y_starts: list[int] = []
+    y = die.ylo + ty - (bh if ty else 0)
+    while y < die.yhi:
+        y_starts.append(y)
+        y += bh
+    for iy, wy in enumerate(y_starts):
+        for ix, wx in enumerate(x_starts):
+            rect = Rect(
+                max(wx, die.xlo),
+                max(wy, die.ylo),
+                min(wx + bw, die.xhi),
+                min(wy + bh, die.yhi),
+            )
+            if (
+                rect.width < design.tech.site_width
+                or rect.height < design.tech.row_height
+            ):
+                continue
+            windows.append(Window(ix, iy, rect))
+    return windows
+
+
+def independent_families(
+    windows: list[Window],
+) -> list[list[Window]]:
+    """Split ``windows`` into families safe to optimize in parallel.
+
+    Family ``s`` holds the windows with ``(ix + iy) mod k == s`` where
+    ``k = max(grid width, grid height)``: any two members differ in
+    both grid coordinates, so their x and y projections are disjoint.
+    The family count is ~sqrt(|W|) for square dies, matching the
+    iteration count of Algorithm 2.
+    """
+    if not windows:
+        return []
+    nx = len({w.ix for w in windows})
+    ny = len({w.iy for w in windows})
+    k = max(nx, ny)
+    families: list[list[Window]] = [[] for _ in range(k)]
+    for window in windows:
+        families[(window.ix + window.iy) % k].append(window)
+    return [family for family in families if family]

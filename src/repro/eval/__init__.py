@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment function returns a list of row dictionaries so the
+benchmark suite, the examples and the EXPERIMENTS.md generator share
+one implementation:
+
+* :mod:`repro.eval.expt_a1` — Figure 5 (window size / perturbation
+  range scalability sweep).
+* :mod:`repro.eval.expt_a2` — Figure 6 (α sensitivity: RWL and #dM1).
+* :mod:`repro.eval.expt_a3` — Figure 7 (optimization sequences).
+* :mod:`repro.eval.expt_b` — Table 2 (full-flow results for the four
+  designs, both architectures) and Figure 8 (DRV vs utilization).
+* :mod:`repro.eval.report` — markdown rendering / EXPERIMENTS.md.
+
+Experiments default to the *reduced* scale documented in DESIGN.md §2
+(smaller designs and windows so pure Python + HiGHS finishes in
+minutes); pass a :class:`EvalScale` with ``paper()`` values to run the
+full-size versions.
+"""
+
+from repro.eval.common import EvalScale
+from repro.eval.expt_a1 import expt_a1_window_sweep
+from repro.eval.expt_a2 import expt_a2_alpha_sweep
+from repro.eval.expt_a3 import expt_a3_sequences
+from repro.eval.expt_b import expt_b_table2, expt_b_fig8_drv_sweep
+from repro.eval.report import render_markdown_table
+
+__all__ = [
+    "EvalScale",
+    "expt_a1_window_sweep",
+    "expt_a2_alpha_sweep",
+    "expt_a3_sequences",
+    "expt_b_table2",
+    "expt_b_fig8_drv_sweep",
+    "render_markdown_table",
+]

@@ -1,0 +1,72 @@
+"""Shared experiment scaling knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EvalScale:
+    """Scale preset for the experiment suite.
+
+    The paper runs full-size designs (9.9k-68.6k instances) with
+    5-80 um windows through C++/CPLEX on an 8-thread server.  The
+    default preset here shrinks both designs and windows by the
+    documented factors so pure Python + HiGHS completes each
+    experiment in minutes while preserving every trend; ``paper()``
+    restores the full sizes (expect hours).
+
+    Attributes:
+        design_scale: per-profile instance-count multipliers.
+        window_scale: multiplier applied to the paper's window sizes
+            in microns (e.g. the preferred 20 um window becomes
+            ``20 * window_scale``).
+        time_limit: per-window MILP time limit (seconds).
+        theta: VM1Opt convergence threshold.
+        seed: RNG seed for generation/placement.
+    """
+
+    design_scale: dict[str, float] = field(
+        default_factory=lambda: {
+            "m0": 0.05,
+            "aes": 0.04,
+            "jpeg": 0.014,
+            "vga": 0.011,
+        }
+    )
+    window_scale: float = 0.065
+    time_limit: float = 4.0
+    theta: float = 0.02
+    seed: int = 1
+
+    @classmethod
+    def quick(cls) -> "EvalScale":
+        """Extra-small preset for CI smoke runs (tens of seconds)."""
+        return cls(
+            design_scale={
+                "m0": 0.02,
+                "aes": 0.015,
+                "jpeg": 0.004,
+                "vga": 0.003,
+            },
+            window_scale=0.05,
+            time_limit=3.0,
+            theta=0.05,
+        )
+
+    @classmethod
+    def paper(cls) -> "EvalScale":
+        """Full paper sizes.  Hours of runtime; opt-in only."""
+        return cls(
+            design_scale={p: 1.0 for p in ("m0", "aes", "jpeg", "vga")},
+            window_scale=1.0,
+            time_limit=60.0,
+            theta=0.01,
+        )
+
+    def scale_of(self, profile: str) -> float:
+        return self.design_scale[profile]
+
+    def window_um(self, paper_um: float) -> float:
+        """Map a paper window size to this preset's size."""
+        return max(0.5, paper_um * self.window_scale)

@@ -1,0 +1,103 @@
+"""ExptA-1 / Figure 5: scalability vs window size and perturbation
+range.
+
+The paper sweeps square windows from 5 to 80 um and perturbation
+ranges lx in {2..5}, ly in {0, 1}, running a single DistOpt pair per
+configuration, and reports normalized routed wirelength and runtime.
+The expected shape: larger windows reduce RWL monotonically-ish while
+runtime grows superlinearly; the knee (<= 1% RWL of best at minimum
+runtime) picks the production window size.
+"""
+
+from __future__ import annotations
+
+from repro.core.distopt import dist_opt
+from repro.core.params import OptParams
+from repro.eval.common import EvalScale
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+
+#: Paper sweep values (um) — mapped through EvalScale.window_um.
+PAPER_WINDOW_SIZES_UM = (5.0, 10.0, 20.0, 40.0, 80.0)
+#: Perturbation combinations from the paper (subset by default).
+DEFAULT_PERTURBATIONS = ((3, 1), (4, 1))
+FULL_PERTURBATIONS = tuple(
+    (lx, ly) for lx in (2, 3, 4, 5) for ly in (0, 1)
+)
+
+
+def expt_a1_window_sweep(
+    scale: EvalScale | None = None,
+    *,
+    profile: str = "aes",
+    window_sizes_um: tuple[float, ...] = PAPER_WINDOW_SIZES_UM,
+    perturbations: tuple[tuple[int, int], ...] = DEFAULT_PERTURBATIONS,
+) -> list[dict]:
+    """Run the Figure 5 sweep; returns one row per configuration.
+
+    Rows carry the paper-labelled window size, the actually-used
+    (scaled) size, RWL (absolute and normalized to the best), the
+    wall runtime of the optimization and the modeled parallel time.
+    """
+    scale = scale or EvalScale()
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    library = build_library(tech)
+    base = generate_design(
+        profile,
+        tech,
+        library,
+        scale=scale.scale_of(profile),
+        seed=scale.seed,
+    )
+    place_design(base, seed=scale.seed)
+    initial = base.placement_snapshot()
+    params = OptParams.for_arch(
+        tech.arch, time_limit=scale.time_limit, theta=scale.theta
+    )
+
+    rows: list[dict] = []
+    for paper_um in window_sizes_um:
+        bw = tech.dbu(scale.window_um(paper_um))
+        for lx, ly in perturbations:
+            base.restore_placement(initial)
+            # One DistOpt pair (move + flip), per the paper's setup.
+            move = dist_opt(
+                base, params, tx=0, ty=0, bw=bw, bh=bw,
+                lx=lx, ly=ly, allow_flip=False,
+            )
+            flip = dist_opt(
+                base, params, tx=0, ty=0, bw=bw, bh=bw,
+                lx=0, ly=0, allow_flip=True,
+            )
+            metrics = DetailedRouter(base).route()
+            rows.append(
+                {
+                    "window (paper um)": paper_um,
+                    "window (um)": round(tech.microns(bw), 3),
+                    "lx": lx,
+                    "ly": ly,
+                    "RWL (um)": metrics.routed_wirelength / 1000,
+                    "#dM1": metrics.num_dm1,
+                    "runtime (s)": move.wall_seconds + flip.wall_seconds,
+                    "parallel runtime (s)": (
+                        move.modeled_parallel_seconds
+                        + flip.modeled_parallel_seconds
+                    ),
+                }
+            )
+    base.restore_placement(initial)
+
+    best_rwl = min(row["RWL (um)"] for row in rows)
+    for row in rows:
+        row["RWL (norm)"] = row["RWL (um)"] / best_rwl
+    return rows
+
+
+def knee_configuration(rows: list[dict]) -> dict:
+    """The paper's selection rule: minimum runtime among configs
+    within 1% of the best routed wirelength."""
+    eligible = [row for row in rows if row["RWL (norm)"] <= 1.01]
+    return min(eligible, key=lambda r: r["runtime (s)"])

@@ -1,0 +1,79 @@
+"""ExptA-2 / Figure 6: sensitivity of RWL and #dM1 to α.
+
+The paper sweeps α from 0 to 6000 and observes: #dM1 grows
+monotonically with α, while routed wirelength is non-monotonic — some
+alignment is free wirelength reduction, too much alignment sacrifices
+HPWL for alignments the router cannot monetize.  α = 1200 (ClosedM1) /
+1000 (OpenM1) are chosen at the knee.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import OptParams, ParamSet
+from repro.core.vm1opt import vm1_opt
+from repro.eval.common import EvalScale
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+
+#: The paper's sweep range.
+PAPER_ALPHAS = (0.0, 300.0, 1200.0, 3000.0, 6000.0)
+
+
+def expt_a2_alpha_sweep(
+    scale: EvalScale | None = None,
+    *,
+    profile: str = "aes",
+    arch: CellArchitecture = CellArchitecture.CLOSED_M1,
+    alphas: tuple[float, ...] = PAPER_ALPHAS,
+    window_paper_um: float = 20.0,
+) -> list[dict]:
+    """Run the Figure 6 sweep; returns one row per α."""
+    scale = scale or EvalScale()
+    tech = make_tech(arch)
+    library = build_library(tech)
+    base = generate_design(
+        profile,
+        tech,
+        library,
+        scale=scale.scale_of(profile),
+        seed=scale.seed,
+    )
+    place_design(base, seed=scale.seed)
+    initial = base.placement_snapshot()
+    init_metrics = DetailedRouter(base).route()
+
+    window_um = scale.window_um(window_paper_um)
+    rows: list[dict] = [
+        {
+            "alpha": "init",
+            "RWL (um)": init_metrics.routed_wirelength / 1000,
+            "#dM1": init_metrics.num_dm1,
+            "HPWL (um)": init_metrics.hpwl / 1000,
+            "runtime (s)": 0.0,
+        }
+    ]
+    for alpha in alphas:
+        base.restore_placement(initial)
+        params = OptParams.for_arch(
+            arch,
+            alpha=alpha,
+            sequence=(ParamSet.square(window_um, 4, 1),),
+            time_limit=scale.time_limit,
+            theta=scale.theta,
+        )
+        result = vm1_opt(base, params)
+        metrics = DetailedRouter(base).route()
+        rows.append(
+            {
+                "alpha": alpha,
+                "RWL (um)": metrics.routed_wirelength / 1000,
+                "#dM1": metrics.num_dm1,
+                "HPWL (um)": metrics.hpwl / 1000,
+                "runtime (s)": result.wall_seconds,
+            }
+        )
+    base.restore_placement(initial)
+    return rows

@@ -1,0 +1,80 @@
+"""ExptA-3 / Figure 7: comparison of optimization sequences U.
+
+The paper compares five window/perturbation sequences and finds the
+single-set sequence (20, 4, 1) the best runtime/quality point: the
+lx = 4 sequences win on RWL, and multi-set sequences pay roughly 2x
+runtime for no quality gain.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import EXPTA3_SEQUENCES, OptParams, ParamSet
+from repro.core.vm1opt import vm1_opt
+from repro.eval.common import EvalScale
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+
+
+def _scaled_sequence(
+    sequence: tuple[ParamSet, ...], scale: EvalScale
+) -> tuple[ParamSet, ...]:
+    return tuple(
+        ParamSet(
+            bw_um=scale.window_um(u.bw_um),
+            bh_um=scale.window_um(u.bh_um),
+            lx=u.lx,
+            ly=u.ly,
+        )
+        for u in sequence
+    )
+
+
+def expt_a3_sequences(
+    scale: EvalScale | None = None,
+    *,
+    profile: str = "aes",
+    sequence_ids: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> list[dict]:
+    """Run the Figure 7 comparison; one row per sequence."""
+    scale = scale or EvalScale()
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    library = build_library(tech)
+    base = generate_design(
+        profile,
+        tech,
+        library,
+        scale=scale.scale_of(profile),
+        seed=scale.seed,
+    )
+    place_design(base, seed=scale.seed)
+    initial = base.placement_snapshot()
+
+    rows: list[dict] = []
+    for seq_id in sequence_ids:
+        base.restore_placement(initial)
+        params = OptParams.for_arch(
+            tech.arch,
+            sequence=_scaled_sequence(EXPTA3_SEQUENCES[seq_id], scale),
+            time_limit=scale.time_limit,
+            theta=scale.theta,
+        )
+        result = vm1_opt(base, params)
+        metrics = DetailedRouter(base).route()
+        rows.append(
+            {
+                "sequence": seq_id,
+                "paper sequence": " -> ".join(
+                    f"({u.bw_um:g},{u.lx},{u.ly})"
+                    for u in EXPTA3_SEQUENCES[seq_id]
+                ),
+                "RWL (um)": metrics.routed_wirelength / 1000,
+                "#dM1": metrics.num_dm1,
+                "runtime (s)": result.wall_seconds,
+                "parallel runtime (s)": result.modeled_parallel_seconds,
+            }
+        )
+    base.restore_placement(initial)
+    return rows

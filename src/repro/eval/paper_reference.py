@@ -1,0 +1,65 @@
+"""The paper's published numbers (Table 2), machine-readable.
+
+Used by the EXPERIMENTS.md generator to print paper-vs-measured rows
+side by side.  Lengths in um, power in mW, runtime in seconds; the
+delta columns are the paper's (final - init) / init in percent.
+"""
+
+from __future__ import annotations
+
+#: Table 2 rows: (arch, design) -> metrics.
+PAPER_TABLE2: dict[tuple[str, str], dict[str, float]] = {
+    ("closedm1", "m0"): {
+        "#inst": 9922, "#dM1 init": 545, "#dM1 final": 2955,
+        "#dM1 %": 442.2, "M1WL %": -7.0, "#via12 %": -10.7,
+        "HPWL %": 4.0, "RWL %": -2.9, "WNS final (ns)": 0.0,
+        "power %": -0.5, "runtime (s)": 344,
+    },
+    ("closedm1", "aes"): {
+        "#inst": 12345, "#dM1 init": 631, "#dM1 final": 3177,
+        "#dM1 %": 403.5, "M1WL %": -26.8, "#via12 %": -14.4,
+        "HPWL %": -5.0, "RWL %": -6.4, "WNS final (ns)": 0.0,
+        "power %": -0.9, "runtime (s)": 711,
+    },
+    ("closedm1", "jpeg"): {
+        "#inst": 54570, "#dM1 init": 3694, "#dM1 final": 20688,
+        "#dM1 %": 460.0, "M1WL %": -7.7, "#via12 %": -5.7,
+        "HPWL %": -2.3, "RWL %": -6.2, "WNS final (ns)": 0.0,
+        "power %": -0.7, "runtime (s)": 1216,
+    },
+    ("closedm1", "vga"): {
+        "#inst": 68606, "#dM1 init": 2460, "#dM1 final": 12473,
+        "#dM1 %": 407.0, "M1WL %": -9.1, "#via12 %": -10.7,
+        "HPWL %": 0.4, "RWL %": -1.1, "WNS final (ns)": -0.002,
+        "power %": -0.1, "runtime (s)": 561,
+    },
+    ("openm1", "m0"): {
+        "#inst": 9891, "#dM1 init": 1183, "#dM1 final": 1931,
+        "#dM1 %": 63.2, "M1WL %": 3.0, "#via12 %": -1.7,
+        "HPWL %": -0.9, "RWL %": -1.0, "WNS final (ns)": 0.0,
+        "power %": -0.3, "runtime (s)": 298,
+    },
+    ("openm1", "aes"): {
+        "#inst": 12348, "#dM1 init": 1341, "#dM1 final": 1975,
+        "#dM1 %": 47.3, "M1WL %": -0.5, "#via12 %": -4.1,
+        "HPWL %": -2.2, "RWL %": -2.2, "WNS final (ns)": 0.0,
+        "power %": -0.3, "runtime (s)": 325,
+    },
+    ("openm1", "jpeg"): {
+        "#inst": 54689, "#dM1 init": 8391, "#dM1 final": 13763,
+        "#dM1 %": 64.0, "M1WL %": 2.8, "#via12 %": -3.8,
+        "HPWL %": -1.1, "RWL %": -1.7, "WNS final (ns)": -0.001,
+        "power %": -0.2, "runtime (s)": 1026,
+    },
+    ("openm1", "vga"): {
+        "#inst": 68729, "#dM1 init": 7714, "#dM1 final": 13132,
+        "#dM1 %": 70.2, "M1WL %": -0.3, "#via12 %": -2.2,
+        "HPWL %": -0.8, "RWL %": -0.8, "WNS final (ns)": -0.002,
+        "power %": -0.1, "runtime (s)": 515,
+    },
+}
+
+
+def paper_row(arch: str, design: str) -> dict[str, float]:
+    """Look up the paper's Table 2 row (KeyError if absent)."""
+    return PAPER_TABLE2[(arch, design)]

@@ -1,0 +1,28 @@
+"""Markdown rendering for experiment rows."""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 10**9:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_markdown_table(rows: list[dict]) -> str:
+    """Render experiment rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)\n"
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in columns)
+            + " |"
+        )
+    return "\n".join(lines) + "\n"

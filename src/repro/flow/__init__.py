@@ -1,0 +1,10 @@
+"""End-to-end flow: generate → place → route → optimize → re-route.
+
+This mirrors the paper's evaluation flow (synthesize with DC, P&R with
+Innovus, optimize with the proposed tool, ECO-route, compare), with
+every stage provided by this repository's substrates.
+"""
+
+from repro.flow.flow import FlowConfig, FlowResult, run_flow, table2_row
+
+__all__ = ["FlowConfig", "FlowResult", "run_flow", "table2_row"]

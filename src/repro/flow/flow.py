@@ -1,0 +1,200 @@
+"""Flow orchestration and Table 2 row extraction."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.params import OptParams, ParamSet
+from repro.core.vm1opt import VM1OptResult, vm1_opt
+from repro.library import Library, build_library
+from repro.netlist import Design, generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter, RouteMetrics, RouterConfig
+from repro.tech import CellArchitecture, Technology, make_tech
+from repro.timing import (
+    PowerReport,
+    TimingReport,
+    analyze_timing,
+    estimate_power,
+)
+
+
+@dataclass
+class FlowConfig:
+    """Configuration for one end-to-end run.
+
+    Attributes:
+        profile: benchmark profile name (``m0``/``aes``/``jpeg``/
+            ``vga``) or a DesignProfile.
+        arch: cell architecture (selects library + MILP formulation).
+        scale: instance-count scale; 1.0 = paper-size (see DESIGN.md
+            on default scaling for Python/HiGHS tractability).
+        utilization: placement utilization target.
+        seed: RNG seed for generation and placement.
+        params: optimizer parameters; None = paper defaults for the
+            architecture with ``window_um`` square windows.
+        window_um: window size used when ``params`` is None.
+        lx/ly: perturbation range used when ``params`` is None.
+        router: router configuration shared by init/final routing.
+        optimize: run VM1Opt (False = route-only baseline run).
+        timing_driven: derive per-net β weights from the initial STA
+            (criticality-weighted HPWL — the paper's §6 future work
+            (ii)); ignored when ``params`` is supplied explicitly.
+    """
+
+    profile: str = "aes"
+    arch: CellArchitecture = CellArchitecture.CLOSED_M1
+    scale: float = 0.05
+    utilization: float = 0.75
+    seed: int = 1
+    params: OptParams | None = None
+    window_um: float = 1.25
+    lx: int = 4
+    ly: int = 1
+    time_limit: float = 5.0
+    router: RouterConfig = field(default_factory=RouterConfig)
+    optimize: bool = True
+    timing_driven: bool = False
+
+    def resolved_params(self, tech: Technology) -> OptParams:
+        if self.params is not None:
+            return self.params
+        return OptParams.for_arch(
+            self.arch,
+            sequence=(
+                ParamSet.square(self.window_um, self.lx, self.ly),
+            ),
+            time_limit=self.time_limit,
+        )
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow run produced."""
+
+    config: FlowConfig
+    design: Design
+    library: Library
+    init_route: RouteMetrics
+    init_timing: TimingReport
+    init_power: PowerReport
+    opt: VM1OptResult | None = None
+    final_route: RouteMetrics | None = None
+    final_timing: TimingReport | None = None
+    final_power: PowerReport | None = None
+    place_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.design.instances)
+
+
+def run_flow(config: FlowConfig) -> FlowResult:
+    """Run the complete flow described by ``config``."""
+    started = time.perf_counter()
+    tech = make_tech(config.arch)
+    library = build_library(tech)
+    design = generate_design(
+        config.profile,
+        tech,
+        library,
+        scale=config.scale,
+        utilization=config.utilization,
+        seed=config.seed,
+    )
+    t_place = time.perf_counter()
+    place_design(design, seed=config.seed)
+    place_seconds = time.perf_counter() - t_place
+
+    router = DetailedRouter(design, config.router)
+    init_route = router.route()
+    init_timing = analyze_timing(design, init_route.net_lengths)
+    init_power = estimate_power(design, init_route.net_lengths)
+
+    result = FlowResult(
+        config=config,
+        design=design,
+        library=library,
+        init_route=init_route,
+        init_timing=init_timing,
+        init_power=init_power,
+        place_seconds=place_seconds,
+    )
+    if config.optimize:
+        params = config.resolved_params(tech)
+        if config.timing_driven and config.params is None:
+            from dataclasses import replace
+
+            from repro.timing.criticality import criticality_weights
+
+            params = replace(
+                params,
+                net_beta=criticality_weights(design, init_timing),
+            )
+        result.opt = vm1_opt(design, params)
+        final_router = DetailedRouter(design, config.router)
+        result.final_route = final_router.route()
+        result.final_timing = analyze_timing(
+            design,
+            result.final_route.net_lengths,
+            clock_period_ps=init_timing.clock_period_ps,
+        )
+        result.final_power = estimate_power(
+            design, result.final_route.net_lengths
+        )
+    result.total_seconds = time.perf_counter() - started
+    return result
+
+
+def _pct(init: float, final: float) -> float:
+    return 100.0 * (final - init) / init if init else 0.0
+
+
+def table2_row(result: FlowResult) -> dict[str, float | str]:
+    """One Table 2 row (init/final/Δ% per metric) from a flow run."""
+    init = result.init_route
+    final = result.final_route
+    if final is None:
+        raise ValueError("flow ran without optimization")
+    um = result.design.tech.dbu_per_micron
+    return {
+        "design": result.config.profile,
+        "arch": result.config.arch.value,
+        "#inst": result.num_instances,
+        "util": result.config.utilization,
+        "#dM1 init": init.num_dm1,
+        "#dM1 final": final.num_dm1,
+        "#dM1 %": _pct(max(init.num_dm1, 1), final.num_dm1),
+        "M1WL init (um)": init.m1_wirelength / um,
+        "M1WL final (um)": final.m1_wirelength / um,
+        "M1WL %": _pct(init.m1_wirelength, final.m1_wirelength),
+        "#via12 init": init.num_via12,
+        "#via12 final": final.num_via12,
+        "#via12 %": _pct(init.num_via12, final.num_via12),
+        "HPWL init (um)": init.hpwl / um,
+        "HPWL final (um)": final.hpwl / um,
+        "HPWL %": _pct(init.hpwl, final.hpwl),
+        "RWL init (um)": init.routed_wirelength / um,
+        "RWL final (um)": final.routed_wirelength / um,
+        "RWL %": _pct(init.routed_wirelength, final.routed_wirelength),
+        "WNS init (ns)": result.init_timing.wns_ns,
+        "WNS final (ns)": (
+            result.final_timing.wns_ns if result.final_timing else 0.0
+        ),
+        "power init (mW)": result.init_power.total_mw,
+        "power final (mW)": (
+            result.final_power.total_mw if result.final_power else 0.0
+        ),
+        "power %": _pct(
+            result.init_power.total_mw,
+            result.final_power.total_mw if result.final_power else 0.0,
+        ),
+        "#DRV init": init.num_drvs,
+        "#DRV final": final.num_drvs,
+        "runtime (s)": result.opt.wall_seconds if result.opt else 0.0,
+        "runtime parallel-model (s)": (
+            result.opt.modeled_parallel_seconds if result.opt else 0.0
+        ),
+    }

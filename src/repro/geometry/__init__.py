@@ -1,0 +1,18 @@
+"""Planar geometry primitives used across the layout database.
+
+All coordinates are integer database units (DBU); 1 DBU = 1 nm in the
+default technology.  The module provides:
+
+* :class:`Point` — an immutable 2-D integer point.
+* :class:`Interval` — a closed 1-D integer interval with overlap algebra.
+* :class:`Rect` — an axis-aligned rectangle built from two intervals.
+* :class:`Orientation` — the DEF placement orientations (``N``/``S``/
+  ``FN``/``FS``) with the coordinate transforms cells undergo when placed.
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.orientation import Orientation
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+__all__ = ["Point", "Interval", "Rect", "Orientation"]

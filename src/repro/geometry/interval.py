@@ -1,0 +1,79 @@
+"""Closed integer interval with the overlap algebra the optimizer needs.
+
+The OpenM1 formulation reasons about horizontal pin *overlap*: two pins
+can be joined by a direct vertical M1 segment only if the projections of
+their pin shapes onto the x-axis intersect (paper §1.1).  ``Interval``
+is the primitive carrying that projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` in integer DBU with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"Interval lo {self.lo} > hi {self.hi}")
+
+    @property
+    def length(self) -> int:
+        """Extent of the interval (``hi - lo``; 0 for a point interval)."""
+        return self.hi - self.lo
+
+    @property
+    def center2(self) -> int:
+        """Twice the interval center (kept integral for odd extents)."""
+        return self.lo + self.hi
+
+    def contains(self, value: int) -> bool:
+        """Return True when ``lo <= value <= hi``."""
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return True when ``other`` lies entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True when the two closed intervals intersect."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def overlap_length(self, other: "Interval") -> int:
+        """Length of the intersection, or a negative gap when disjoint.
+
+        A negative return value is the distance between the intervals,
+        which the MILP uses directly: overlap ``b - a`` in constraint
+        (11) of the paper is exactly this quantity.
+        """
+        return min(self.hi, other.hi) - max(self.lo, other.lo)
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """Return the intersection interval, or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both intervals."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def translated(self, delta: int) -> "Interval":
+        """Return a copy shifted by ``delta``."""
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def mirrored_in(self, span: "Interval") -> "Interval":
+        """Mirror this interval about the center of ``span``.
+
+        Used to flip pin x-extents when a cell is placed in a mirrored
+        orientation: a pin at ``[lo, hi]`` inside a cell of width ``w``
+        maps to ``[w - hi, w - lo]``.
+        """
+        return Interval(
+            span.lo + span.hi - self.hi, span.lo + span.hi - self.lo
+        )

@@ -1,0 +1,29 @@
+"""Immutable integer 2-D point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """A point in the layout plane, in integer DBU.
+
+    Points are ordered lexicographically (x first) so that pin and cell
+    collections can be sorted deterministically.
+    """
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """Return the L1 (Manhattan) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)

@@ -1,0 +1,36 @@
+"""LEF/DEF (5.7 subset) interchange.
+
+The paper's implementation reads and writes LEF/DEF through
+OpenAccess.  This package provides the same interchange boundary for
+this repository's in-memory database:
+
+* :func:`write_lef` / :func:`parse_lef` — library geometry (SITE,
+  MACRO, PIN PORT rectangles, OBS).
+* :func:`write_def` / :func:`parse_def` — die area, rows, placed
+  components, pins (IO pads) and nets.
+* :func:`apply_def_placement` — load a DEF's component placement back
+  onto an existing design (the ECO path: optimize → write DEF →
+  re-route elsewhere).
+
+The dialect is a strict subset of LEF/DEF 5.7, so the emitted files
+load in standard tools.
+"""
+
+from repro.lefdef.lef import LefMacro, LefPin, parse_lef, write_lef
+from repro.lefdef.defio import (
+    DefData,
+    apply_def_placement,
+    parse_def,
+    write_def,
+)
+
+__all__ = [
+    "LefMacro",
+    "LefPin",
+    "parse_lef",
+    "write_lef",
+    "DefData",
+    "apply_def_placement",
+    "parse_def",
+    "write_def",
+]

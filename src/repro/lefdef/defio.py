@@ -1,0 +1,199 @@
+"""DEF writer and parser (5.7 subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Orientation, Point, Rect
+from repro.netlist.design import Design
+
+
+@dataclass
+class DefComponent:
+    """Parsed COMPONENTS entry."""
+
+    name: str
+    macro: str
+    x: int
+    y: int
+    orient: str
+
+
+@dataclass
+class DefNet:
+    """Parsed NETS entry: (instance, pin) pairs; PIN entries for pads."""
+
+    name: str
+    pins: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class DefData:
+    """Everything :func:`parse_def` extracts."""
+
+    design_name: str
+    die: Rect
+    dbu_per_micron: int
+    components: dict[str, DefComponent] = field(default_factory=dict)
+    nets: dict[str, DefNet] = field(default_factory=dict)
+    pads: dict[str, Point] = field(default_factory=dict)
+
+
+def write_def(design: Design) -> str:
+    """Serialize ``design`` (placement + connectivity) to DEF text."""
+    tech = design.tech
+    die = design.die
+    lines = [
+        "VERSION 5.7 ;",
+        'DIVIDERCHAR "/" ;',
+        'BUSBITCHARS "[]" ;',
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {tech.dbu_per_micron} ;",
+        f"DIEAREA ( {die.xlo} {die.ylo} ) ( {die.xhi} {die.yhi} ) ;",
+        "",
+    ]
+    for row in range(design.num_rows):
+        orient = "FS" if row % 2 else "N"
+        lines.append(
+            f"ROW coreRow_{row} coreSite {die.xlo} "
+            f"{die.ylo + row * tech.row_height} {orient} "
+            f"DO {design.num_columns} BY 1 STEP {tech.site_width} 0 ;"
+        )
+    lines.append("")
+
+    insts = sorted(design.instances.items())
+    lines.append(f"COMPONENTS {len(insts)} ;")
+    for name, inst in insts:
+        status = "FIXED" if inst.fixed else "PLACED"
+        lines.append(
+            f"- {name} {inst.macro.name} + {status} "
+            f"( {inst.x} {inst.y} ) {inst.orientation.value} ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("")
+
+    pads = [
+        (f"pad_{net_name}_{k}", net_name, pad)
+        for net_name, net in sorted(design.nets.items())
+        for k, pad in enumerate(net.pads)
+    ]
+    lines.append(f"PINS {len(pads)} ;")
+    for pad_name, net_name, pad in pads:
+        lines.append(
+            f"- {pad_name} + NET {net_name} + DIRECTION INOUT "
+            f"+ PLACED ( {pad.x} {pad.y} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("")
+
+    nets = sorted(design.nets.items())
+    lines.append(f"NETS {len(nets)} ;")
+    for name, net in nets:
+        refs = []
+        for k, pad in enumerate(net.pads):
+            refs.append(f"( PIN pad_{name}_{k} )")
+        for ref in net.pins:
+            refs.append(f"( {ref.instance} {ref.pin} )")
+        lines.append(f"- {name} {' '.join(refs)} ;")
+    lines.append("END NETS")
+    lines.append("")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def parse_def(text: str) -> DefData:
+    """Parse DEF text (the :func:`write_def` subset)."""
+    design_name = ""
+    dbu = 1000
+    die = None
+    components: dict[str, DefComponent] = {}
+    nets: dict[str, DefNet] = {}
+    pads: dict[str, Point] = {}
+
+    section = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.rstrip(";").split()
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head == "DESIGN" and len(tokens) >= 2 and section == "":
+            design_name = tokens[1]
+        elif head == "UNITS":
+            dbu = int(tokens[3])
+        elif head == "DIEAREA":
+            nums = [int(t) for t in tokens if _is_int(t)]
+            die = Rect(nums[0], nums[1], nums[2], nums[3])
+        elif head in ("COMPONENTS", "PINS", "NETS"):
+            section = head
+        elif head == "END" and len(tokens) > 1 and tokens[1] in (
+            "COMPONENTS",
+            "PINS",
+            "NETS",
+        ):
+            section = ""
+        elif head == "-" and section == "COMPONENTS":
+            name, macro = tokens[1], tokens[2]
+            nums = [int(t) for t in tokens if _is_int(t)]
+            orient = tokens[-1]
+            components[name] = DefComponent(
+                name, macro, nums[-2], nums[-1], orient
+            )
+        elif head == "-" and section == "PINS":
+            pad_name = tokens[1]
+            nums = [int(t) for t in tokens if _is_int(t)]
+            pads[pad_name] = Point(nums[-2], nums[-1])
+        elif head == "-" and section == "NETS":
+            net = DefNet(tokens[1])
+            i = 2
+            while i < len(tokens):
+                if tokens[i] == "(":
+                    a, b = tokens[i + 1], tokens[i + 2]
+                    if a != "PIN":
+                        net.pins.append((a, b))
+                    i += 4
+                else:
+                    i += 1
+            nets[net.name] = net
+
+    if die is None:
+        raise ValueError("DEF has no DIEAREA")
+    return DefData(
+        design_name=design_name,
+        die=die,
+        dbu_per_micron=dbu,
+        components=components,
+        nets=nets,
+        pads=pads,
+    )
+
+
+def apply_def_placement(design: Design, text: str) -> int:
+    """Load a DEF's component placement onto ``design``.
+
+    Returns the number of instances whose placement changed.  Raises
+    KeyError if the DEF references unknown instances.
+    """
+    data = parse_def(text)
+    moved = 0
+    for name, comp in data.components.items():
+        inst = design.instances[name]
+        orient = Orientation(comp.orient)
+        if (inst.x, inst.y, inst.orientation) != (
+            comp.x,
+            comp.y,
+            orient,
+        ):
+            moved += 1
+        inst.x, inst.y, inst.orientation = comp.x, comp.y, orient
+    return moved
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,185 @@
+"""LEF writer and parser (5.7 subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect
+from repro.library.library import Library
+from repro.library.pins import PinDirection
+
+
+@dataclass
+class LefPin:
+    """Parsed LEF pin: direction, use and port rectangles per layer."""
+
+    name: str
+    direction: str
+    use: str
+    rects: list[tuple[str, Rect]] = field(default_factory=list)
+
+
+@dataclass
+class LefMacro:
+    """Parsed LEF macro geometry."""
+
+    name: str
+    size_x: float
+    size_y: float
+    site: str
+    pins: dict[str, LefPin] = field(default_factory=dict)
+    obs: list[tuple[str, Rect]] = field(default_factory=list)
+
+
+def _use_of(direction: PinDirection) -> str:
+    if direction is PinDirection.POWER:
+        return "POWER"
+    if direction is PinDirection.GROUND:
+        return "GROUND"
+    return "SIGNAL"
+
+
+def _dir_of(direction: PinDirection) -> str:
+    if direction in (PinDirection.POWER, PinDirection.GROUND):
+        return "INOUT"
+    return direction.value
+
+
+def write_lef(library: Library) -> str:
+    """Serialize ``library`` to LEF text."""
+    tech = library.tech
+    um = tech.dbu_per_micron
+    lines: list[str] = [
+        "VERSION 5.7 ;",
+        'BUSBITCHARS "[]" ;',
+        'DIVIDERCHAR "/" ;',
+        f"UNITS\n  DATABASE MICRONS {um} ;\nEND UNITS",
+        "",
+        f"SITE coreSite",
+        "  CLASS CORE ;",
+        f"  SIZE {tech.site_width / um:.4f} BY "
+        f"{tech.row_height / um:.4f} ;",
+        "  SYMMETRY Y ;",
+        "END coreSite",
+        "",
+    ]
+    for name in library.names:
+        macro = library.macro(name)
+        lines.append(f"MACRO {name}")
+        lines.append("  CLASS CORE ;")
+        lines.append("  ORIGIN 0 0 ;")
+        lines.append(
+            f"  SIZE {macro.width / um:.4f} BY {macro.height / um:.4f} ;"
+        )
+        lines.append("  SYMMETRY X Y ;")
+        lines.append("  SITE coreSite ;")
+        for pin_name in sorted(macro.pins):
+            pin = macro.pins[pin_name]
+            lines.append(f"  PIN {pin_name}")
+            lines.append(f"    DIRECTION {_dir_of(pin.direction)} ;")
+            lines.append(f"    USE {_use_of(pin.direction)} ;")
+            lines.append("    PORT")
+            for shape in pin.shapes:
+                layer = tech.layers[shape.layer_index].name
+                r = shape.rect
+                lines.append(f"      LAYER {layer} ;")
+                lines.append(
+                    f"        RECT {r.xlo / um:.4f} {r.ylo / um:.4f} "
+                    f"{r.xhi / um:.4f} {r.yhi / um:.4f} ;"
+                )
+            lines.append("    END")
+            lines.append(f"  END {pin_name}")
+        lines.append(f"END {name}")
+        lines.append("")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def parse_lef(text: str) -> dict[str, LefMacro]:
+    """Parse LEF text into :class:`LefMacro` geometry records.
+
+    Supports the subset :func:`write_lef` emits (plus harmless
+    variations in whitespace).  Unknown statements inside macros are
+    skipped.
+    """
+    macros: dict[str, LefMacro] = {}
+    tokens = _statements(text)
+    site_name = "coreSite"
+    i = 0
+    while i < len(tokens):
+        stmt = tokens[i]
+        if stmt[:1] == ["MACRO"]:
+            macro, i = _parse_macro(tokens, i, site_name)
+            macros[macro.name] = macro
+        else:
+            i += 1
+    return macros
+
+
+def _statements(text: str) -> list[list[str]]:
+    """Split LEF text into per-line token lists (comments stripped)."""
+    out: list[list[str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        out.append(line.rstrip(";").split())
+    return out
+
+
+def _parse_macro(
+    tokens: list[list[str]], start: int, site: str
+) -> tuple[LefMacro, int]:
+    name = tokens[start][1]
+    macro = LefMacro(name=name, size_x=0.0, size_y=0.0, site=site)
+    i = start + 1
+    while i < len(tokens):
+        stmt = tokens[i]
+        if stmt[0] == "END" and len(stmt) > 1 and stmt[1] == name:
+            return macro, i + 1
+        if stmt[0] == "SIZE":
+            macro.size_x = float(stmt[1])
+            macro.size_y = float(stmt[3])
+        elif stmt[0] == "SITE":
+            macro.site = stmt[1]
+        elif stmt[0] == "PIN":
+            pin, i = _parse_pin(tokens, i)
+            macro.pins[pin.name] = pin
+            continue
+        i += 1
+    raise ValueError(f"unterminated MACRO {name}")
+
+
+def _parse_pin(
+    tokens: list[list[str]], start: int
+) -> tuple[LefPin, int]:
+    name = tokens[start][1]
+    pin = LefPin(name=name, direction="INPUT", use="SIGNAL")
+    i = start + 1
+    layer = ""
+    while i < len(tokens):
+        stmt = tokens[i]
+        if stmt[0] == "END" and len(stmt) > 1 and stmt[1] == name:
+            return pin, i + 1
+        if stmt[0] == "DIRECTION":
+            pin.direction = stmt[1]
+        elif stmt[0] == "USE":
+            pin.use = stmt[1]
+        elif stmt[0] == "LAYER":
+            layer = stmt[1]
+        elif stmt[0] == "RECT":
+            coords = [float(v) for v in stmt[1:5]]
+            um = 1000  # rect stored back in DBU at 1000 dbu/um
+            pin.rects.append(
+                (
+                    layer,
+                    Rect(
+                        round(coords[0] * um),
+                        round(coords[1] * um),
+                        round(coords[2] * um),
+                        round(coords[3] * um),
+                    ),
+                )
+            )
+        i += 1
+    raise ValueError(f"unterminated PIN {name}")

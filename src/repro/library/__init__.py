@@ -1,0 +1,28 @@
+"""Standard-cell library generation for the three cell architectures.
+
+The paper uses 7nm ClosedM1 and OpenM1 triple-Vt libraries from an
+industrial consortium.  This package synthesizes equivalent libraries:
+the same *geometric contract* the MILP formulation and the router
+depend on (pin layers, 1-D M1 pins on the site grid for ClosedM1,
+horizontal M0 pin bars for OpenM1, M1 power rails for conventional
+12-track cells), plus simple timing/power models for the evaluation
+metrics.
+"""
+
+from repro.library.library import Library, build_library
+from repro.library.macro import Macro, TimingModel
+from repro.library.pins import Pin, PinDirection, PinShape
+from repro.library.specs import CellSpec, DEFAULT_CELL_SPECS, VtClass
+
+__all__ = [
+    "Library",
+    "build_library",
+    "Macro",
+    "TimingModel",
+    "Pin",
+    "PinDirection",
+    "PinShape",
+    "CellSpec",
+    "DEFAULT_CELL_SPECS",
+    "VtClass",
+]

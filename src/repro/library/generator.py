@@ -1,0 +1,225 @@
+"""Concrete pin geometry generation per cell architecture (Figure 1).
+
+Each generator turns a :class:`~repro.library.specs.CellSpec` into a
+:class:`~repro.library.macro.Macro` whose pins follow the architecture's
+contract:
+
+* **ClosedM1** — every pin (signal and power) is a thin 1-D vertical M1
+  stripe centered on a site-pitch M1 track.  VDD/VSS stripes sit at the
+  cell's left/right boundary columns; signal pins occupy distinct
+  interior columns.  All stripe columns block the M1 track inside the
+  cell row.
+* **OpenM1** — signal pins are horizontal M0 bars on the M0 track grid;
+  the M1 layer above the cell is completely open (pins and internal
+  routing live below M1).
+* **Conventional 12-track** — signal pins are horizontal M1 bars and
+  the M1 VDD/VSS rails span the full cell width, blocking every M1
+  track: no direct vertical M1 routing is possible, which is exactly
+  why the paper's optimization does not apply to this template.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Rect
+from repro.library.macro import Macro, TimingModel
+from repro.library.pins import Pin, PinDirection, PinShape
+from repro.library.specs import CellSpec, VtClass
+from repro.tech.arch import CellArchitecture
+from repro.tech.technology import Technology
+
+#: Half-width of a drawn pin stripe/bar, in DBU.
+_PIN_HALF_WIDTH = 9
+
+
+def make_macro(
+    tech: Technology, spec: CellSpec, vt: VtClass
+) -> Macro:
+    """Generate the macro for ``spec`` at ``vt`` in ``tech``'s
+    architecture."""
+    builders = {
+        CellArchitecture.CLOSED_M1: _closedm1_pins,
+        CellArchitecture.OPEN_M1: _openm1_pins,
+        CellArchitecture.CONV_12T: _conv12t_pins,
+    }
+    pins, blocked = builders[tech.arch](tech, spec)
+    return Macro(
+        name=f"{spec.name}_{vt.value}",
+        spec=spec,
+        vt=vt,
+        arch=tech.arch,
+        width=spec.width_sites * tech.site_width,
+        height=tech.row_height,
+        pins=pins,
+        m1_blocked_columns=frozenset(blocked),
+        timing=_timing_model(spec, vt),
+    )
+
+
+def signal_pin_columns(spec: CellSpec) -> dict[str, int]:
+    """Deterministic interior-column assignment for ClosedM1 pins.
+
+    Interior columns are ``1 .. width_sites - 2``; inputs fill from the
+    left, outputs from the right, leaving slack columns (free M1
+    feedthrough tracks) in between when the cell is wide enough.
+    """
+    interior = list(range(1, spec.width_sites - 1))
+    if len(spec.signal_pins) > len(interior):
+        raise ValueError(
+            f"{spec.name}: width {spec.width_sites} sites cannot host "
+            f"{len(spec.signal_pins)} signal pins"
+        )
+    columns: dict[str, int] = {}
+    # Spread inputs over the left part of the interior range.
+    n_in = len(spec.inputs)
+    span = len(interior) - len(spec.outputs)
+    for i, name in enumerate(spec.inputs):
+        idx = i * span // n_in if n_in > 1 else 0
+        # Guarantee strictly increasing columns.
+        idx = max(idx, i)
+        columns[name] = interior[idx]
+    for j, name in enumerate(spec.outputs):
+        columns[name] = interior[len(interior) - len(spec.outputs) + j]
+    return columns
+
+
+def _closedm1_pins(
+    tech: Technology, spec: CellSpec
+) -> tuple[dict[str, Pin], set[int]]:
+    height = tech.row_height
+    pins: dict[str, Pin] = {}
+    blocked: set[int] = set()
+
+    def stripe(column: int, ylo: int, yhi: int) -> PinShape:
+        x = tech.m1_track_x(column)
+        return PinShape(
+            layer_index=1,
+            rect=Rect(x - _PIN_HALF_WIDTH, ylo, x + _PIN_HALF_WIDTH, yhi),
+        )
+
+    # Boundary power stripes (Figure 1(b)): V12-stapled to the M2 rails.
+    last = spec.width_sites - 1
+    pins["VDD"] = Pin(
+        "VDD", PinDirection.POWER, (stripe(0, height // 2, height),)
+    )
+    pins["VSS"] = Pin(
+        "VSS", PinDirection.GROUND, (stripe(last, 0, height // 2),)
+    )
+    blocked.update((0, last))
+
+    margin = tech.layers[2].pitch  # keep clear of the M2 rails
+    for name, column in signal_pin_columns(spec).items():
+        direction = (
+            PinDirection.OUTPUT
+            if name in spec.outputs
+            else PinDirection.INPUT
+        )
+        pins[name] = Pin(
+            name, direction, (stripe(column, margin, height - margin),)
+        )
+        blocked.add(column)
+    return pins, blocked
+
+
+def _openm1_bar(
+    tech: Technology, track: int, site_lo: int, site_hi: int, layer: int
+) -> PinShape:
+    """Horizontal bar on ``track`` spanning sites [site_lo, site_hi]."""
+    y = tech.layers[layer].track_coord(track)
+    return PinShape(
+        layer_index=layer,
+        rect=Rect(
+            tech.site_x(site_lo),
+            y - _PIN_HALF_WIDTH,
+            tech.site_x(site_hi + 1),
+            y + _PIN_HALF_WIDTH,
+        ),
+    )
+
+
+def _openm1_pins(
+    tech: Technology, spec: CellSpec
+) -> tuple[dict[str, Pin], set[int]]:
+    w = spec.width_sites
+    pins: dict[str, Pin] = {
+        "VDD": Pin(
+            "VDD",
+            PinDirection.POWER,
+            (_openm1_bar(tech, 6, 0, w - 1, layer=0),),
+        ),
+        "VSS": Pin(
+            "VSS",
+            PinDirection.GROUND,
+            (_openm1_bar(tech, 0, 0, w - 1, layer=0),),
+        ),
+    }
+    # Signal pins on M0 tracks 1..5.  Inputs get medium bars staggered
+    # across the cell; outputs get wide bars (they must be reachable
+    # from more x positions, mirroring Figure 1(c)'s wide ZN pin).
+    n_pins = len(spec.signal_pins)
+    for i, name in enumerate(spec.signal_pins):
+        track = 1 + i % 5
+        if name in spec.outputs:
+            site_lo, site_hi = 1, max(1, w - 2)
+        else:
+            bar_len = max(1, (w - 2) // 2)
+            max_lo = max(1, w - 1 - bar_len)
+            site_lo = 1 + (i * max(0, max_lo - 1)) // max(1, n_pins - 1)
+            site_hi = min(w - 2, site_lo + bar_len - 1)
+            site_hi = max(site_hi, site_lo)
+        direction = (
+            PinDirection.OUTPUT
+            if name in spec.outputs
+            else PinDirection.INPUT
+        )
+        pins[name] = Pin(
+            name,
+            direction,
+            (_openm1_bar(tech, track, site_lo, site_hi, layer=0),),
+        )
+    return pins, set()  # M1 is fully open above OpenM1 cells
+
+
+def _conv12t_pins(
+    tech: Technology, spec: CellSpec
+) -> tuple[dict[str, Pin], set[int]]:
+    w = spec.width_sites
+    n_tracks = tech.row_height // tech.layers[1].pitch
+    pins: dict[str, Pin] = {
+        "VDD": Pin(
+            "VDD",
+            PinDirection.POWER,
+            (_openm1_bar(tech, n_tracks - 1, 0, w - 1, layer=1),),
+        ),
+        "VSS": Pin(
+            "VSS",
+            PinDirection.GROUND,
+            (_openm1_bar(tech, 0, 0, w - 1, layer=1),),
+        ),
+    }
+    for i, name in enumerate(spec.signal_pins):
+        track = 2 + i % (n_tracks - 4)
+        direction = (
+            PinDirection.OUTPUT
+            if name in spec.outputs
+            else PinDirection.INPUT
+        )
+        site_lo = 1 + i % max(1, w - 3)
+        site_hi = min(w - 2, site_lo + max(1, w // 3))
+        pins[name] = Pin(
+            name,
+            direction,
+            (_openm1_bar(tech, track, site_lo, site_hi, layer=1),),
+        )
+    # M1 power rails block every column for inter-row routing.
+    return pins, set(range(w))
+
+
+def _timing_model(spec: CellSpec, vt: VtClass) -> TimingModel:
+    drive = float(spec.drive)
+    return TimingModel(
+        intrinsic_ps=spec.base_delay_ps * vt.delay_scale,
+        drive_resistance_kohm=1.4 * vt.delay_scale / drive,
+        input_cap_ff=spec.base_input_cap_ff,
+        leakage_nw=spec.base_leakage_nw * vt.leakage_scale * drive,
+        internal_energy_fj=0.6 * drive,
+    )

@@ -1,0 +1,77 @@
+"""Library container and the default library factory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.generator import make_macro
+from repro.library.macro import Macro
+from repro.library.specs import CellSpec, DEFAULT_CELL_SPECS, VtClass
+from repro.tech.technology import Technology
+
+
+@dataclass
+class Library:
+    """A set of macros generated for one technology/architecture.
+
+    Macros are keyed by full name (``NAND2_X1_RVT``).  The library also
+    exposes convenience views the netlist generator uses to draw a
+    realistic cell mix.
+    """
+
+    tech: Technology
+    macros: dict[str, Macro] = field(default_factory=dict)
+
+    def add(self, macro: Macro) -> None:
+        if macro.name in self.macros:
+            raise ValueError(f"duplicate macro {macro.name}")
+        self.macros[macro.name] = macro
+
+    def macro(self, name: str) -> Macro:
+        """Look a macro up by full name (raises KeyError if unknown)."""
+        return self.macros[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.macros
+
+    def __len__(self) -> int:
+        return len(self.macros)
+
+    @property
+    def names(self) -> list[str]:
+        """Macro names in deterministic (sorted) order."""
+        return sorted(self.macros)
+
+    def combinational(self) -> list[Macro]:
+        """All non-sequential macros, sorted by name."""
+        return [
+            self.macros[n]
+            for n in self.names
+            if not self.macros[n].spec.is_sequential
+        ]
+
+    def sequential(self) -> list[Macro]:
+        """All sequential macros, sorted by name."""
+        return [
+            self.macros[n]
+            for n in self.names
+            if self.macros[n].spec.is_sequential
+        ]
+
+
+def build_library(
+    tech: Technology,
+    specs: tuple[CellSpec, ...] = DEFAULT_CELL_SPECS,
+    vts: tuple[VtClass, ...] = (VtClass.LVT, VtClass.RVT, VtClass.HVT),
+) -> Library:
+    """Generate the triple-Vt library for ``tech``.
+
+    This substitutes for the consortium 7nm libraries of the paper: the
+    full spec set at every Vt flavor, with geometry following
+    ``tech.arch``.
+    """
+    library = Library(tech=tech)
+    for spec in specs:
+        for vt in vts:
+            library.add(make_macro(tech, spec, vt))
+    return library

@@ -1,0 +1,93 @@
+"""Pin and pin-shape primitives for library macros."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Interval, Rect
+
+
+class PinDirection(enum.Enum):
+    """Logical direction of a macro pin."""
+
+    INPUT = "INPUT"
+    OUTPUT = "OUTPUT"
+    INOUT = "INOUT"
+    POWER = "POWER"
+    GROUND = "GROUND"
+
+    @property
+    def is_signal(self) -> bool:
+        """True for pins that participate in signal nets."""
+        return self in (
+            PinDirection.INPUT,
+            PinDirection.OUTPUT,
+            PinDirection.INOUT,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PinShape:
+    """One rectangle of pin metal, in cell-relative DBU coordinates.
+
+    For ClosedM1 pins this is a thin vertical M1 stripe centered on an
+    M1 track; for OpenM1 pins a horizontal M0 bar; for conventional
+    cells a horizontal M1 bar.
+    """
+
+    layer_index: int
+    rect: Rect
+
+    @property
+    def x_interval(self) -> Interval:
+        """x-projection of the shape — the quantity OpenM1 overlap uses."""
+        return self.rect.x_interval
+
+    @property
+    def x_center(self) -> int:
+        """x of the shape center — the ClosedM1 alignment coordinate."""
+        return (self.rect.xlo + self.rect.xhi) // 2
+
+    @property
+    def y_center(self) -> int:
+        return (self.rect.ylo + self.rect.yhi) // 2
+
+
+@dataclass(frozen=True, slots=True)
+class Pin:
+    """A macro pin: name, direction and one or more metal shapes.
+
+    The optimizer uses the *access shape* (``shapes[0]``): the single
+    shape a direct vertical M1 route would land on.  Multi-shape pins
+    (e.g. the OpenM1 ZN pin of Figure 1(c), which has two M0 bars tied
+    by an internal M1 link) list the preferred access shape first.
+    """
+
+    name: str
+    direction: PinDirection
+    shapes: tuple[PinShape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError(f"pin {self.name} has no shapes")
+
+    @property
+    def access_shape(self) -> PinShape:
+        """The shape used for alignment/overlap reasoning."""
+        return self.shapes[0]
+
+    @property
+    def x_rel(self) -> int:
+        """Cell-relative x of the pin access point (xp in the MILP)."""
+        return self.access_shape.x_center
+
+    @property
+    def y_rel(self) -> int:
+        """Cell-relative y of the pin access point (yp in the MILP)."""
+        return self.access_shape.y_center
+
+    @property
+    def x_interval_rel(self) -> Interval:
+        """Cell-relative x-extent ([xmin_p, xmax_p] in the MILP)."""
+        return self.access_shape.x_interval

@@ -1,0 +1,145 @@
+"""Logical cell specifications shared by all three architecture
+generators.
+
+A :class:`CellSpec` describes a cell *function* (ports, width, timing
+class); the per-architecture generators in
+:mod:`repro.library.generator` turn a spec into concrete pin geometry.
+The set below is a representative combinational + sequential subset of
+a production library, with drive-strength variants for the cells that
+matter most to synthesis mix (inverters/buffers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class VtClass(enum.Enum):
+    """Threshold-voltage flavor of a triple-Vt library."""
+
+    LVT = "LVT"
+    RVT = "RVT"
+    HVT = "HVT"
+
+    @property
+    def delay_scale(self) -> float:
+        """Delay multiplier relative to RVT."""
+        return {"LVT": 0.85, "RVT": 1.0, "HVT": 1.25}[self.value]
+
+    @property
+    def leakage_scale(self) -> float:
+        """Leakage multiplier relative to RVT."""
+        return {"LVT": 4.0, "RVT": 1.0, "HVT": 0.3}[self.value]
+
+
+@dataclass(frozen=True, slots=True)
+class CellSpec:
+    """Architecture-independent description of a library cell.
+
+    Attributes:
+        function: base function name (``INV``, ``NAND2``...).
+        drive: drive strength multiplier (1, 2, 4...).
+        inputs: ordered input pin names.
+        outputs: ordered output pin names.
+        width_sites: cell width in placement sites.
+        is_sequential: True for flops/latches.
+        clock_pin: clock input name for sequential cells.
+        base_delay_ps: intrinsic delay at drive 1, RVT.
+        base_input_cap_ff: input pin capacitance at drive 1.
+        base_leakage_nw: leakage power at RVT.
+    """
+
+    function: str
+    drive: int
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    width_sites: int
+    is_sequential: bool = False
+    clock_pin: str | None = None
+    base_delay_ps: float = 10.0
+    base_input_cap_ff: float = 0.8
+    base_leakage_nw: float = 1.0
+
+    @property
+    def name(self) -> str:
+        """Base macro name without Vt suffix, e.g. ``NAND2_X2``."""
+        return f"{self.function}_X{self.drive}"
+
+    @property
+    def signal_pins(self) -> tuple[str, ...]:
+        """All signal pin names, inputs first."""
+        return self.inputs + self.outputs
+
+
+def _spec(
+    function: str,
+    drive: int,
+    inputs: tuple[str, ...],
+    width_sites: int,
+    *,
+    outputs: tuple[str, ...] = ("ZN",),
+    delay: float = 10.0,
+    cap: float = 0.8,
+    leak: float = 1.0,
+    sequential: bool = False,
+    clock: str | None = None,
+) -> CellSpec:
+    return CellSpec(
+        function=function,
+        drive=drive,
+        inputs=inputs,
+        outputs=outputs,
+        width_sites=width_sites,
+        is_sequential=sequential,
+        clock_pin=clock,
+        base_delay_ps=delay,
+        base_input_cap_ff=cap,
+        base_leakage_nw=leak,
+    )
+
+
+#: The default cell set.  Widths are in sites; each signal pin needs an
+#: interior site column (ClosedM1) or M0 bar room (OpenM1), so width
+#: grows with pin count, matching the relative footprints of a real
+#: 7.5-track library.
+DEFAULT_CELL_SPECS: tuple[CellSpec, ...] = (
+    _spec("INV", 1, ("A",), 4, delay=6.0, cap=0.7, leak=0.8),
+    _spec("INV", 2, ("A",), 5, delay=5.0, cap=1.3, leak=1.5),
+    _spec("INV", 4, ("A",), 7, delay=4.2, cap=2.5, leak=2.8),
+    _spec("BUF", 1, ("A",), 5, outputs=("Z",), delay=9.0, cap=0.7),
+    _spec("BUF", 2, ("A",), 6, outputs=("Z",), delay=7.5, cap=1.3,
+          leak=1.8),
+    _spec("NAND2", 1, ("A1", "A2"), 5, delay=8.0, cap=0.9, leak=1.2),
+    _spec("NAND2", 2, ("A1", "A2"), 7, delay=6.8, cap=1.7, leak=2.2),
+    _spec("NAND3", 1, ("A1", "A2", "A3"), 7, delay=9.5, cap=1.0,
+          leak=1.6),
+    _spec("NOR2", 1, ("A1", "A2"), 5, delay=8.6, cap=0.9, leak=1.2),
+    _spec("NOR3", 1, ("A1", "A2", "A3"), 7, delay=10.2, cap=1.0,
+          leak=1.6),
+    _spec("AND2", 1, ("A1", "A2"), 6, outputs=("Z",), delay=11.0,
+          cap=0.8, leak=1.4),
+    _spec("OR2", 1, ("A1", "A2"), 6, outputs=("Z",), delay=11.5,
+          cap=0.8, leak=1.4),
+    _spec("AOI21", 1, ("A", "B1", "B2"), 7, delay=10.5, cap=1.0,
+          leak=1.7),
+    _spec("OAI21", 1, ("A", "B1", "B2"), 7, delay=10.8, cap=1.0,
+          leak=1.7),
+    _spec("XOR2", 1, ("A1", "A2"), 9, outputs=("Z",), delay=13.0,
+          cap=1.4, leak=2.4),
+    _spec("XNOR2", 1, ("A1", "A2"), 9, delay=13.2, cap=1.4, leak=2.4),
+    _spec("MUX2", 1, ("I0", "I1", "S"), 9, outputs=("Z",), delay=12.5,
+          cap=1.1, leak=2.2),
+    _spec("DFF", 1, ("D", "CK"), 13, outputs=("Q",), delay=28.0,
+          cap=1.2, leak=4.5, sequential=True, clock="CK"),
+    _spec("DFF", 2, ("D", "CK"), 15, outputs=("Q",), delay=24.0,
+          cap=1.9, leak=6.5, sequential=True, clock="CK"),
+)
+
+
+def spec_by_name(name: str) -> CellSpec:
+    """Look up a spec by base macro name (e.g. ``"NAND2_X1"``)."""
+    for spec in DEFAULT_CELL_SPECS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no cell spec named {name}")

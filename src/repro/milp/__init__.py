@@ -1,0 +1,31 @@
+"""Solver-independent MILP modeling layer (the CPLEX substitute).
+
+The paper solves its window MILPs with CPLEX 12.6.3.  This package
+provides:
+
+* :class:`Model` / :class:`Var` / :class:`LinExpr` — a small algebraic
+  modeling API sufficient for the paper's formulations (binary and
+  continuous variables, linear constraints, linear objective).
+* :class:`HighsBackend` — the default exact solver, backed by
+  ``scipy.optimize.milp`` (HiGHS branch-and-cut).
+* :class:`BranchBoundBackend` — a pure-Python branch-and-bound solver
+  over HiGHS LP relaxations, used to cross-check HiGHS on small models
+  and as a fallback.
+"""
+
+from repro.milp.model import Constraint, LinExpr, Model, Sense, Var
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.highs_backend import HighsBackend
+from repro.milp.branch_bound import BranchBoundBackend
+
+__all__ = [
+    "Model",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "HighsBackend",
+    "BranchBoundBackend",
+]

@@ -1,0 +1,186 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+LP relaxations are solved with HiGHS ``linprog``; branching is
+most-fractional, search is best-bound first.  The backend exists as an
+independent cross-check of :class:`~repro.milp.highs_backend.HighsBackend`
+on small models (the two must agree on optimal objective values) and
+as a fallback when ``scipy.optimize.milp`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.milp.model import Model, Sense
+from repro.milp.solution import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+class BranchBoundBackend:
+    """Best-bound branch-and-bound over HiGHS LP relaxations.
+
+    Args:
+        time_limit: wall-clock budget in seconds.
+        node_limit: maximum number of explored B&B nodes.
+    """
+
+    name = "branch-bound"
+
+    def __init__(
+        self,
+        time_limit: float | None = None,
+        node_limit: int = 200_000,
+    ) -> None:
+        self.time_limit = time_limit
+        self.node_limit = node_limit
+
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` (minimization)."""
+        started = time.perf_counter()
+        n = len(model.vars)
+        if n == 0:
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=model.objective.const,
+            )
+
+        c = np.zeros(n)
+        for idx, coef in model.objective.coefs.items():
+            c[idx] = coef
+
+        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
+        for con in model.constraints:
+            row = np.zeros(n)
+            for idx, coef in con.coefs.items():
+                row[idx] = coef
+            if con.sense is Sense.LE:
+                a_ub_rows.append(row)
+                b_ub.append(con.rhs)
+            elif con.sense is Sense.GE:
+                a_ub_rows.append(-row)
+                b_ub.append(-con.rhs)
+            else:
+                a_eq_rows.append(row)
+                b_eq.append(con.rhs)
+        a_ub = sparse.csr_matrix(np.array(a_ub_rows)) if a_ub_rows else None
+        a_eq = sparse.csr_matrix(np.array(a_eq_rows)) if a_eq_rows else None
+
+        int_indices = [i for i, v in enumerate(model.vars) if v.is_integer]
+        base_lb = np.array([v.lb for v in model.vars])
+        base_ub = np.array([v.ub for v in model.vars])
+
+        def relax(lb: np.ndarray, ub: np.ndarray):
+            res = linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=np.array(b_ub) if b_ub else None,
+                A_eq=a_eq,
+                b_eq=np.array(b_eq) if b_eq else None,
+                bounds=np.column_stack([lb, ub]),
+                method="highs",
+            )
+            return res
+
+        incumbent_x: np.ndarray | None = None
+        incumbent_obj = float("inf")
+        explored = 0
+        truncated = False
+
+        root = relax(base_lb, base_ub)
+        if root.status == 2:
+            return Solution(status=SolveStatus.INFEASIBLE)
+        if root.status == 3:
+            return Solution(status=SolveStatus.UNBOUNDED)
+        if root.status != 0:
+            return Solution(
+                status=SolveStatus.ERROR, message=str(root.message)
+            )
+
+        # Heap entries: (bound, tiebreak, lb, ub, x)
+        counter = 0
+        heap: list[tuple[float, int, np.ndarray, np.ndarray, np.ndarray]]
+        heap = [(root.fun, counter, base_lb, base_ub, root.x)]
+
+        while heap:
+            if (
+                self.time_limit is not None
+                and time.perf_counter() - started > self.time_limit
+            ) or explored >= self.node_limit:
+                truncated = True
+                break
+            bound, _, lb, ub, x = heapq.heappop(heap)
+            if bound >= incumbent_obj - 1e-9:
+                continue
+            explored += 1
+
+            frac_idx, frac_val = self._most_fractional(x, int_indices)
+            if frac_idx is None:
+                if bound < incumbent_obj:
+                    incumbent_obj = bound
+                    incumbent_x = x
+                continue
+
+            floor_val = np.floor(frac_val)
+            for lo_add, hi_add in (
+                (None, floor_val),
+                (floor_val + 1, None),
+            ):
+                child_lb = lb.copy()
+                child_ub = ub.copy()
+                if hi_add is not None:
+                    child_ub[frac_idx] = hi_add
+                if lo_add is not None:
+                    child_lb[frac_idx] = lo_add
+                if child_lb[frac_idx] > child_ub[frac_idx]:
+                    continue
+                res = relax(child_lb, child_ub)
+                if res.status != 0:
+                    continue
+                if res.fun >= incumbent_obj - 1e-9:
+                    continue
+                counter += 1
+                heapq.heappush(
+                    heap, (res.fun, counter, child_lb, child_ub, res.x)
+                )
+
+        elapsed = time.perf_counter() - started
+        if incumbent_x is None:
+            status = (
+                SolveStatus.FEASIBLE if truncated else SolveStatus.INFEASIBLE
+            )
+            return Solution(status=status, solve_seconds=elapsed)
+
+        values = {
+            i: (round(v) if model.vars[i].is_integer else float(v))
+            for i, v in enumerate(incumbent_x)
+        }
+        objective = model.objective.value(values)
+        status = SolveStatus.FEASIBLE if truncated else SolveStatus.OPTIMAL
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            solve_seconds=elapsed,
+        )
+
+    @staticmethod
+    def _most_fractional(
+        x: np.ndarray, int_indices: list[int]
+    ) -> tuple[int | None, float]:
+        best_idx: int | None = None
+        best_dist = _INT_TOL
+        best_val = 0.0
+        for idx in int_indices:
+            val = x[idx]
+            dist = abs(val - round(val))
+            if dist > best_dist:
+                best_dist = dist
+                best_idx = idx
+                best_val = val
+        return best_idx, best_val

@@ -1,0 +1,29 @@
+"""Netlist / layout database and synthetic benchmark generation.
+
+:class:`Design` is the in-memory equivalent of the paper's OpenAccess
+database: macros placed on a row/site grid, signal nets over instance
+pins and boundary IO pads, and the geometric queries placement, the
+MILP formulations and the router need (absolute pin locations, net
+bounding boxes, HPWL).
+
+:mod:`repro.netlist.generator` synthesizes the four benchmark designs
+(``m0``, ``aes``, ``jpeg``, ``vga``) with paper-matching instance
+counts, Rent's-rule locality and a realistic fanout distribution.
+"""
+
+from repro.netlist.design import Design, Instance, Net, PinRef
+from repro.netlist.generator import (
+    DESIGN_PROFILES,
+    DesignProfile,
+    generate_design,
+)
+
+__all__ = [
+    "Design",
+    "Instance",
+    "Net",
+    "PinRef",
+    "DESIGN_PROFILES",
+    "DesignProfile",
+    "generate_design",
+]

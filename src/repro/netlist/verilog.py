@@ -1,0 +1,200 @@
+"""Structural (gate-level) Verilog writer and parser.
+
+The paper's testcases are synthesized gate-level netlists; this module
+provides the matching interchange for this repository's database: a
+flat structural module with one instance statement per cell and
+explicit port connections, plus a parser for the same subset.
+
+The writer emits primary IO for nets with boundary pads; pad
+coordinates are layout data and therefore travel in the DEF, not
+here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.library.library import Library
+from repro.library.pins import PinDirection
+from repro.netlist.design import Design
+
+
+def _escape(name: str) -> str:
+    """Escape identifiers that are not plain Verilog identifiers."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(design: Design) -> str:
+    """Serialize ``design``'s netlist as a flat structural module."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    wires: list[str] = []
+    for name, net in sorted(design.nets.items()):
+        if net.pads:
+            driver = design.driver_of(net)
+            if driver is None:
+                inputs.append(name)
+            else:
+                outputs.append(name)
+        else:
+            wires.append(name)
+
+    lines = [f"module {_escape(design.name)} ("]
+    ports = [_escape(n) for n in inputs + outputs]
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    for name in inputs:
+        lines.append(f"  input {_escape(name)};")
+    for name in outputs:
+        lines.append(f"  output {_escape(name)};")
+    for name in wires:
+        lines.append(f"  wire {_escape(name)};")
+    lines.append("")
+
+    for inst_name, inst in sorted(design.instances.items()):
+        conns = []
+        for pin_name, net_name in sorted(inst.net_of_pin.items()):
+            conns.append(
+                f".{_escape(pin_name)}({_escape(net_name)})"
+            )
+        lines.append(
+            f"  {_escape(inst.macro.name)} {_escape(inst_name)} "
+            f"({', '.join(conns)});"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class VerilogModule:
+    """Parsed structural module."""
+
+    name: str
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    wires: list[str] = field(default_factory=list)
+    #: instance name -> (macro name, {pin: net}).
+    instances: dict[str, tuple[str, dict[str, str]]] = field(
+        default_factory=dict
+    )
+
+
+_TOKEN = re.compile(
+    r"\\(?P<escaped>\S+)\s|(?P<id>[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<punct>[().,;])"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    text = re.sub(r"//.*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    tokens: list[str] = []
+    for match in _TOKEN.finditer(text):
+        if match.group("escaped") is not None:
+            tokens.append(match.group("escaped"))
+        elif match.group("id") is not None:
+            tokens.append(match.group("id"))
+        else:
+            tokens.append(match.group("punct"))
+    return tokens
+
+
+def parse_verilog(text: str) -> VerilogModule:
+    """Parse a flat structural module (the :func:`write_verilog`
+    subset)."""
+    tokens = _tokenize(text)
+    i = 0
+
+    def expect(value: str) -> None:
+        nonlocal i
+        if tokens[i] != value:
+            raise ValueError(
+                f"expected {value!r}, got {tokens[i]!r} at token {i}"
+            )
+        i += 1
+
+    expect("module")
+    module = VerilogModule(name=tokens[i])
+    i += 1
+    expect("(")
+    while tokens[i] != ")":
+        if tokens[i] != ",":
+            pass  # port list is re-derived from input/output decls
+        i += 1
+    i += 1  # ')'
+    expect(";")
+
+    while tokens[i] != "endmodule":
+        head = tokens[i]
+        if head in ("input", "output", "wire"):
+            i += 1
+            names = []
+            while tokens[i] != ";":
+                if tokens[i] != ",":
+                    names.append(tokens[i])
+                i += 1
+            i += 1  # ';'
+            target = {
+                "input": module.inputs,
+                "output": module.outputs,
+                "wire": module.wires,
+            }[head]
+            target.extend(names)
+        else:
+            macro = tokens[i]
+            inst_name = tokens[i + 1]
+            i += 2
+            expect("(")
+            pins: dict[str, str] = {}
+            while tokens[i] != ")":
+                if tokens[i] == ",":
+                    i += 1
+                    continue
+                expect(".")
+                pin = tokens[i]
+                i += 1
+                expect("(")
+                net = tokens[i]
+                i += 1
+                expect(")")
+                pins[pin] = net
+            i += 1  # ')'
+            expect(";")
+            module.instances[inst_name] = (macro, pins)
+    return module
+
+
+def design_from_verilog(
+    module: VerilogModule, design_factory
+) -> Design:
+    """Build an (unplaced) :class:`Design` from a parsed module.
+
+    Args:
+        module: parsed structural module.
+        design_factory: callable ``(name) -> Design`` that creates the
+            empty design (the caller owns technology/die choices) and
+            whose library resolves the macro names, exposed as
+            ``design_factory.library``.
+    """
+    design: Design = design_factory(module.name)
+    library: Library = design_factory.library
+    net_names: set[str] = set(
+        module.inputs + module.outputs + module.wires
+    )
+    for _, (__, pins) in module.instances.items():
+        net_names.update(pins.values())
+    for net_name in sorted(net_names):
+        design.add_net(net_name)
+    for inst_name, (macro_name, pins) in sorted(
+        module.instances.items()
+    ):
+        macro = library.macro(macro_name)
+        design.add_instance(inst_name, macro)
+        for pin_name, net_name in sorted(pins.items()):
+            pin = macro.pin(pin_name)
+            if pin.direction.is_signal:
+                design.connect(net_name, inst_name, pin_name)
+    return design

@@ -1,0 +1,21 @@
+"""Placement substrate: global placement and legalization.
+
+This package stands in for the commercial place step of the paper's
+flow (Innovus).  It produces the *input* the paper's optimizer
+perturbs: a legal row/site placement at a target utilization whose
+wirelength reflects netlist locality.
+
+* :func:`global_place` — analytic-style global placement: iterative
+  net-centroid relaxation (a Jacobi solve of the star-model quadratic
+  program) interleaved with quantile-based density spreading.
+* :func:`legalize` — Tetris-style legalization onto rows/sites with
+  displacement-aware row selection, followed by an in-row compaction
+  pass toward the global-placement targets.
+* :func:`place_design` — the two chained, the standard entry point.
+"""
+
+from repro.placement.global_place import global_place
+from repro.placement.legalize import legalize
+from repro.placement.api import place_design
+
+__all__ = ["global_place", "legalize", "place_design"]

@@ -1,0 +1,24 @@
+"""End-to-end placement entry point."""
+
+from __future__ import annotations
+
+from repro.netlist.design import Design
+from repro.placement.global_place import global_place
+from repro.placement.legalize import legalize
+
+
+def place_design(
+    design: Design,
+    *,
+    rounds: int = 6,
+    relax_iters: int = 12,
+    seed: int = 0,
+) -> int:
+    """Globally place and legalize ``design``; return the final HPWL.
+
+    This mirrors the commercial place step of the paper's flow and
+    produces the legal placement the MILP optimizer perturbs.
+    """
+    global_place(design, rounds=rounds, relax_iters=relax_iters, seed=seed)
+    legalize(design)
+    return design.total_hpwl()

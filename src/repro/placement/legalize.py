@@ -1,0 +1,141 @@
+"""Displacement-driven legalization with free-interval bookkeeping.
+
+Instances are processed in increasing global-x order (Tetris-style
+sweep), but each row keeps a list of *free site intervals* rather than
+a single frontier, so space skipped by one cell remains usable by
+later ones.  Each instance is placed at the legal position minimizing
+``|dx| + 2|dy|`` displacement, searching rows outward from its target
+row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.design import Design, Instance
+
+
+class LegalizationError(RuntimeError):
+    """Raised when no legal position can be found for an instance."""
+
+
+@dataclass
+class _Row:
+    """Free-space bookkeeping for one placement row."""
+
+    index: int
+    #: Disjoint maximal free intervals [lo, hi) in sites, sorted.
+    free: list[tuple[int, int]] = field(default_factory=list)
+
+    def best_position(self, target: int, width: int) -> int | None:
+        """Leftmost-displacement legal column for ``width`` sites, or
+        None when no free interval is wide enough."""
+        best: tuple[int, int] | None = None  # (|dx|, col)
+        for lo, hi in self.free:
+            if hi - lo < width:
+                continue
+            col = min(max(target, lo), hi - width)
+            dx = abs(col - target)
+            if best is None or dx < best[0]:
+                best = (dx, col)
+            if lo > target and best[0] == 0:
+                break
+        return best[1] if best else None
+
+    def occupy(self, col: int, width: int) -> None:
+        """Mark ``[col, col+width)`` occupied."""
+        for i, (lo, hi) in enumerate(self.free):
+            if lo <= col and col + width <= hi:
+                replacement = []
+                if col > lo:
+                    replacement.append((lo, col))
+                if col + width < hi:
+                    replacement.append((col + width, hi))
+                self.free[i : i + 1] = replacement
+                return
+        raise LegalizationError(
+            f"occupy({col}, {width}) not inside a free interval"
+        )
+
+    def free_sites(self) -> int:
+        return sum(hi - lo for lo, hi in self.free)
+
+
+def legalize(design: Design) -> None:
+    """Legalize the (possibly overlapping) placement of ``design``.
+
+    Raises:
+        LegalizationError: if the die cannot hold all instances.
+    """
+    tech = design.tech
+    num_rows = design.num_rows
+    num_cols = design.num_columns
+    rows = [_Row(r, [(0, num_cols)]) for r in range(num_rows)]
+
+    # Fixed instances carve their footprint out of the free space.
+    movable: list[Instance] = []
+    for inst in sorted(design.instances.values(), key=lambda i: i.name):
+        if inst.fixed:
+            row = design.row_of(inst)
+            col = design.column_of(inst)
+            rows[row].occupy(col, inst.macro.width_sites)
+        else:
+            movable.append(inst)
+
+    total_sites = sum(i.macro.width_sites for i in movable)
+    capacity = sum(r.free_sites() for r in rows)
+    if total_sites > capacity:
+        raise LegalizationError(
+            f"{total_sites} site-widths into {capacity} free sites"
+        )
+
+    movable.sort(key=lambda inst: (inst.x, inst.y, inst.name))
+    for inst in movable:
+        _place_one(design, rows, inst)
+
+    errors = design.check_legal()
+    if errors:
+        raise LegalizationError("; ".join(errors[:5]))
+
+
+def _place_one(design: Design, rows: list[_Row], inst: Instance) -> None:
+    tech = design.tech
+    w = inst.macro.width_sites
+    target_row = max(
+        0,
+        min(
+            len(rows) - 1,
+            round((inst.y - design.die.ylo) / tech.row_height),
+        ),
+    )
+    target_col = max(
+        0,
+        min(
+            design.num_columns - w,
+            round((inst.x - design.die.xlo) / tech.site_width),
+        ),
+    )
+
+    best: tuple[float, int, int] | None = None  # (cost, row, col)
+    # Search rows outward from the target; once the row-distance cost
+    # alone exceeds the best known cost, no farther row can win.
+    for distance in range(len(rows)):
+        dy_cost = 2.0 * distance * tech.row_height
+        if best is not None and dy_cost >= best[0]:
+            break
+        candidates = {target_row - distance, target_row + distance}
+        for r in candidates:
+            if not 0 <= r < len(rows):
+                continue
+            col = rows[r].best_position(target_col, w)
+            if col is None:
+                continue
+            cost = abs(col - target_col) * tech.site_width + dy_cost
+            if best is None or cost < best[0]:
+                best = (cost, r, col)
+    if best is None:
+        raise LegalizationError(f"no row fits instance {inst.name}")
+
+    _, row_idx, col = best
+    design.place(inst.name, col, row_idx, flipped=False)
+    rows[row_idx].occupy(col, w)

@@ -1,0 +1,28 @@
+"""Routing substrate: direct-M1 stage + congestion-aware gcell router.
+
+This package stands in for the commercial route step the paper
+evaluates with (Innovus).  Routing happens in two stages, mirroring how
+a sub-10nm router exploits the new cell architectures:
+
+1. **Direct/near-direct M1 stage** (:mod:`repro.routing.m1route`) —
+   for every 2-pin subnet whose pins satisfy the architecture's
+   alignment (ClosedM1) or overlap (OpenM1) predicate within the γ row
+   span, a single vertical M1 segment is booked on the per-column M1
+   track resource (a *direct vertical M1 route*, dM1).  Nearly-aligned
+   pins may instead get a jogged M1+M2 route — the longer,
+   via12-consuming M1 usage commercial routers produce before the
+   paper's optimizer aligns the pins.
+2. **GCell stage** (:mod:`repro.routing.gcell`) — remaining subnets are
+   routed over a capacity-limited gcell grid (M2/M3/M4 resources,
+   plus leftover M1 verticals for OpenM1) with congestion-aware A*
+   and history-cost rip-up-and-reroute; leftover overflow counts as
+   routing DRVs.
+
+The metrics object reports exactly the Table 2 columns: routed
+wirelength, M1 wirelength, #via12, #dM1 and #DRVs.
+"""
+
+from repro.routing.metrics import RouteMetrics
+from repro.routing.router import DetailedRouter, RouterConfig
+
+__all__ = ["RouteMetrics", "DetailedRouter", "RouterConfig"]

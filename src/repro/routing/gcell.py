@@ -1,0 +1,311 @@
+"""Capacity-limited gcell routing grid with congestion-aware search.
+
+The grid models the M2+ routing resource the way a global router sees
+it: horizontal edge capacity comes from the horizontal layers (M2, M4)
+crossing a gcell boundary, vertical capacity from M3 — plus, for
+OpenM1 designs, the open M1 verticals that architecture frees up
+(paper §1.1: "OpenM1 effectively enables an additional metal layer").
+
+Subnets are routed with L-shape probing first and congestion-aware A*
+when both L candidates are badly overflowed; a history-cost rip-up and
+re-route pass resolves what it can, and remaining overflow is reported
+as routing DRVs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.netlist.design import Design
+from repro.tech.arch import CellArchitecture
+
+#: Cost multiplier applied per unit of (prospective) overflow.
+_OVERFLOW_PENALTY = 6.0
+#: Cost added per bend (layer change via23/via34).
+_BEND_COST = 40.0
+#: Extra A* search margin around the subnet bounding box, in gcells.
+_SEARCH_MARGIN = 4
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Geometry and derating of the gcell grid.
+
+    Attributes:
+        width_sites: gcell width in placement sites.
+        height_rows: gcell height in placement rows.
+        derate: fraction of raw tracks usable for signal routing
+            (the rest models pins, power, and rule losses).
+        openm1_m1_share: extra vertical capacity for OpenM1, as a
+            fraction of the raw M1 tracks crossing a gcell boundary
+            (M1 is fully open above OpenM1 cells).
+        closedm1_m1_share: same for ClosedM1, much smaller — only the
+            pin-free feedthrough columns and empty sites are usable.
+    """
+
+    width_sites: int = 15
+    height_rows: int = 2
+    derate: float = 0.70
+    openm1_m1_share: float = 0.35
+    closedm1_m1_share: float = 0.33
+
+
+class GCellGrid:
+    """Routing capacity/usage bookkeeping plus path search."""
+
+    def __init__(self, design: Design, config: GridConfig) -> None:
+        self.design = design
+        self.config = config
+        tech = design.tech
+        die = design.die
+        self.pitch_x = config.width_sites * tech.site_width
+        self.pitch_y = config.height_rows * tech.row_height
+        self.nx = max(1, -(-die.width // self.pitch_x))
+        self.ny = max(1, -(-die.height // self.pitch_y))
+
+        h_layers = [
+            layer
+            for layer in tech.layers[2:]
+            if layer.direction.value == "H"
+        ]
+        v_layers = [
+            layer
+            for layer in tech.layers[3:]
+            if layer.direction.value == "V"
+        ]
+        h_tracks = config.height_rows * tech.row_height * sum(
+            1.0 / layer.pitch for layer in h_layers
+        )
+        v_tracks = config.width_sites * tech.site_width * sum(
+            1.0 / layer.pitch for layer in v_layers
+        )
+        m1_tracks = config.width_sites  # one M1 track per site
+        if tech.arch is CellArchitecture.OPEN_M1:
+            m1_bonus = config.openm1_m1_share * m1_tracks
+        elif tech.arch is CellArchitecture.CLOSED_M1:
+            m1_bonus = config.closedm1_m1_share * m1_tracks
+        else:
+            m1_bonus = 0.0
+        self.cap_h = max(1, round(h_tracks * config.derate))
+        self.cap_v = max(1, round(v_tracks * config.derate + m1_bonus))
+        #: Fraction of vertical gcell wirelength carried by M1 (OpenM1).
+        self.m1_vertical_share = m1_bonus / max(
+            1.0, v_tracks * config.derate + m1_bonus
+        )
+
+        # Edge arrays: usage_h[y, x] is the edge (x,y)-(x+1,y).
+        self.usage_h = np.zeros((self.ny, self.nx - 1), dtype=np.int32)
+        self.usage_v = np.zeros((self.ny - 1, self.nx), dtype=np.int32)
+        self.history_h = np.zeros_like(self.usage_h, dtype=np.float64)
+        self.history_v = np.zeros_like(self.usage_v, dtype=np.float64)
+
+    # ------------------------------------------------------------ coords
+    def cell_of(self, point: Point) -> tuple[int, int]:
+        """GCell (x, y) indices containing ``point``."""
+        die = self.design.die
+        gx = min(self.nx - 1, max(0, (point.x - die.xlo) // self.pitch_x))
+        gy = min(self.ny - 1, max(0, (point.y - die.ylo) // self.pitch_y))
+        return int(gx), int(gy)
+
+    def center(self, gx: int, gy: int) -> Point:
+        die = self.design.die
+        return Point(
+            die.xlo + gx * self.pitch_x + self.pitch_x // 2,
+            die.ylo + gy * self.pitch_y + self.pitch_y // 2,
+        )
+
+    # ------------------------------------------------------------- edges
+    def _edge_cost(self, horizontal: bool, ex: int, ey: int) -> float:
+        if horizontal:
+            usage = self.usage_h[ey, ex]
+            cap = self.cap_h
+            history = self.history_h[ey, ex]
+            base = self.pitch_x
+        else:
+            usage = self.usage_v[ey, ex]
+            cap = self.cap_v
+            history = self.history_v[ey, ex]
+            base = self.pitch_y
+        overflow = max(0, usage + 1 - cap)
+        congestion = 0.4 * (usage / cap) ** 2
+        return base * (1.0 + congestion + _OVERFLOW_PENALTY * overflow
+                       + history)
+
+    def _apply(self, path: list[tuple[int, int]], delta: int) -> None:
+        for (x0, y0), (x1, y1) in zip(path, path[1:]):
+            if y0 == y1:
+                self.usage_h[y0, min(x0, x1)] += delta
+            else:
+                self.usage_v[min(y0, y1), x0] += delta
+
+    def path_cost(self, path: list[tuple[int, int]]) -> float:
+        """Congestion-aware cost of ``path`` under current usage."""
+        total = 0.0
+        bends = 0
+        for i, ((x0, y0), (x1, y1)) in enumerate(
+            zip(path, path[1:])
+        ):
+            if y0 == y1:
+                total += self._edge_cost(True, min(x0, x1), y0)
+            else:
+                total += self._edge_cost(False, x0, min(y0, y1))
+            if i > 0:
+                (px, py) = path[i - 1]
+                if (x1 - x0, y1 - y0) != (x0 - px, y0 - py):
+                    bends += 1
+        return total + bends * _BEND_COST
+
+    # ------------------------------------------------------------ search
+    @staticmethod
+    def l_paths(
+        src: tuple[int, int], dst: tuple[int, int]
+    ) -> list[list[tuple[int, int]]]:
+        """The two L-shaped gcell paths between ``src`` and ``dst``."""
+
+        def straight(a, b):
+            (ax, ay), (bx, by) = a, b
+            out = []
+            if ax == bx:
+                step = 1 if by > ay else -1
+                out = [(ax, y) for y in range(ay, by + step, step)]
+            else:
+                step = 1 if bx > ax else -1
+                out = [(x, ay) for x in range(ax, bx + step, step)]
+            return out
+
+        if src == dst:
+            return [[src]]
+        if src[0] == dst[0] or src[1] == dst[1]:
+            return [straight(src, dst)]
+        via1 = (dst[0], src[1])
+        via2 = (src[0], dst[1])
+        return [
+            straight(src, via1) + straight(via1, dst)[1:],
+            straight(src, via2) + straight(via2, dst)[1:],
+        ]
+
+    def astar(
+        self, src: tuple[int, int], dst: tuple[int, int]
+    ) -> list[tuple[int, int]] | None:
+        """Congestion-aware A* restricted to the expanded bbox."""
+        xlo = max(0, min(src[0], dst[0]) - _SEARCH_MARGIN)
+        xhi = min(self.nx - 1, max(src[0], dst[0]) + _SEARCH_MARGIN)
+        ylo = max(0, min(src[1], dst[1]) - _SEARCH_MARGIN)
+        yhi = min(self.ny - 1, max(src[1], dst[1]) + _SEARCH_MARGIN)
+
+        def heuristic(node: tuple[int, int]) -> float:
+            return (
+                abs(node[0] - dst[0]) * self.pitch_x
+                + abs(node[1] - dst[1]) * self.pitch_y
+            )
+
+        open_heap: list[tuple[float, float, tuple[int, int]]] = [
+            (heuristic(src), 0.0, src)
+        ]
+        best_g: dict[tuple[int, int], float] = {src: 0.0}
+        parent: dict[tuple[int, int], tuple[int, int]] = {}
+        while open_heap:
+            f, g, node = heapq.heappop(open_heap)
+            if node == dst:
+                path = [node]
+                while node in parent:
+                    node = parent[node]
+                    path.append(node)
+                path.reverse()
+                return path
+            if g > best_g.get(node, float("inf")):
+                continue
+            x, y = node
+            neighbors = []
+            if x > xlo:
+                neighbors.append(((x - 1, y), True, x - 1, y))
+            if x < xhi:
+                neighbors.append(((x + 1, y), True, x, y))
+            if y > ylo:
+                neighbors.append(((x, y - 1), False, x, y - 1))
+            if y < yhi:
+                neighbors.append(((x, y + 1), False, x, y))
+            for nxt, horizontal, ex, ey in neighbors:
+                ng = g + self._edge_cost(horizontal, ex, ey)
+                if ng < best_g.get(nxt, float("inf")):
+                    best_g[nxt] = ng
+                    parent[nxt] = node
+                    heapq.heappush(
+                        open_heap, (ng + heuristic(nxt), ng, nxt)
+                    )
+        return None
+
+    # ------------------------------------------------------------ routes
+    def route_subnet(
+        self, a: Point, b: Point
+    ) -> list[tuple[int, int]]:
+        """Route one 2-pin subnet; commits usage; returns the path."""
+        src = self.cell_of(a)
+        dst = self.cell_of(b)
+        candidates = self.l_paths(src, dst)
+        best = min(candidates, key=self.path_cost)
+        ideal = (
+            abs(src[0] - dst[0]) * self.pitch_x
+            + abs(src[1] - dst[1]) * self.pitch_y
+        )
+        if ideal and self.path_cost(best) > 1.8 * ideal:
+            found = self.astar(src, dst)
+            if found is not None and self.path_cost(found) < (
+                self.path_cost(best)
+            ):
+                best = found
+        self._apply(best, +1)
+        return best
+
+    def unroute(self, path: list[tuple[int, int]]) -> None:
+        """Remove a previously committed path from usage."""
+        self._apply(path, -1)
+
+    def add_history(self) -> None:
+        """Accumulate history cost on currently overflowed edges."""
+        self.history_h += 0.5 * np.maximum(
+            0, self.usage_h - self.cap_h
+        )
+        self.history_v += 0.5 * np.maximum(
+            0, self.usage_v - self.cap_v
+        )
+
+    def overflow_edges(self) -> int:
+        """Number of overflowed edge units (the DRV count proxy)."""
+        over_h = np.maximum(0, self.usage_h - self.cap_h).sum()
+        over_v = np.maximum(0, self.usage_v - self.cap_v).sum()
+        return int(over_h + over_v)
+
+    def path_length_dbu(
+        self, path: list[tuple[int, int]], a: Point, b: Point
+    ) -> int:
+        """Routed length: pin-to-pin distance plus detour excess.
+
+        The gcell path is an abstraction; the realized wire follows the
+        pins, so a detour-free path costs exactly the Manhattan
+        distance and detours add full gcell-step lengths.
+        """
+        ideal = a.manhattan_distance(b)
+        if len(path) < 2:
+            return ideal
+        length = 0
+        for (x0, y0), (x1, y1) in zip(path, path[1:]):
+            length += self.pitch_x if y0 == y1 else self.pitch_y
+        src, dst = path[0], path[-1]
+        straight = (
+            abs(src[0] - dst[0]) * self.pitch_x
+            + abs(src[1] - dst[1]) * self.pitch_y
+        )
+        return ideal + max(0, length - straight)
+
+    def vertical_length_dbu(self, path: list[tuple[int, int]]) -> int:
+        """Vertical portion of the routed length."""
+        return sum(
+            self.pitch_y
+            for (x0, y0), (x1, y1) in zip(path, path[1:])
+            if x0 == x1
+        )

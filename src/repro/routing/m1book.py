@@ -1,0 +1,88 @@
+"""Per-column M1 track resource booking.
+
+The M1 layer has one vertical track per site column (pitch = site
+width).  A direct vertical M1 route occupies a y-interval of one
+column's track; cell-internal M1 shapes (ClosedM1 pin stripes, power
+stripes, OpenM1 PDN staples) block parts of columns.  This module
+keeps both, and answers "is this span free?" queries for the router.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.netlist.design import Design
+from repro.tech.arch import CellArchitecture
+
+#: OpenM1 power-staple pitch in columns (paper footnote 1: vertical M1
+#: segments at a fixed pitch staple the M0/M2 power rails).
+PDN_STAPLE_PITCH = 16
+
+
+class M1TrackBook:
+    """Occupancy of the per-column vertical M1 tracks.
+
+    Intervals are closed ``[ylo, yhi]`` DBU spans per absolute site
+    column.  Two reservations on the same column may not overlap.
+    """
+
+    def __init__(self) -> None:
+        # column -> sorted list of (ylo, yhi) reservations.
+        self._booked: dict[int, list[tuple[int, int]]] = {}
+
+    def is_free(self, column: int, ylo: int, yhi: int) -> bool:
+        """True when ``[ylo, yhi]`` on ``column`` has no reservation."""
+        spans = self._booked.get(column)
+        if not spans:
+            return True
+        idx = bisect_left(spans, (ylo, ylo))
+        # Check the neighbor on each side of the insertion point.
+        if idx < len(spans) and spans[idx][0] <= yhi:
+            return False
+        if idx > 0 and spans[idx - 1][1] >= ylo:
+            return False
+        return True
+
+    def book(self, column: int, ylo: int, yhi: int) -> None:
+        """Reserve ``[ylo, yhi]`` on ``column``.
+
+        Raises:
+            ValueError: when the span is already (partially) booked.
+        """
+        if not self.is_free(column, ylo, yhi):
+            raise ValueError(
+                f"M1 track column {column} span [{ylo}, {yhi}] busy"
+            )
+        insort(self._booked.setdefault(column, []), (ylo, yhi))
+
+    def booked_length(self) -> int:
+        """Total booked track length in DBU (M1 wirelength bookings)."""
+        return sum(
+            yhi - ylo
+            for spans in self._booked.values()
+            for ylo, yhi in spans
+        )
+
+
+def build_blockage_book(design: Design) -> M1TrackBook:
+    """Book all cell-internal M1 blockages of ``design``.
+
+    * ClosedM1: every pin/power stripe blocks its column over the cell
+      row span.
+    * OpenM1: cells leave M1 open, but PDN staples block every
+      ``PDN_STAPLE_PITCH``-th column over the full die height.
+    * Conventional 12-track: M1 power rails block every column of every
+      placed cell (no inter-row M1 at all).
+    """
+    book = M1TrackBook()
+    tech = design.tech
+    for _, inst in sorted(design.instances.items()):
+        for col in inst.m1_blocked_columns_abs(tech):
+            book.book(col, inst.y, inst.y + inst.height - 1)
+    if tech.arch is CellArchitecture.OPEN_M1:
+        die = design.die
+        first = die.xlo // tech.site_width
+        last = die.xhi // tech.site_width
+        for col in range(first, last + 1, PDN_STAPLE_PITCH):
+            book.book(col, die.ylo, die.yhi)
+    return book

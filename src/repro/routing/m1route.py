@@ -1,0 +1,184 @@
+"""Stage 1: direct and near-direct (jogged) vertical M1 routing.
+
+A *direct vertical M1 route* (dM1) is a subnet routed with exactly one
+M1 segment (paper §1.1).  The feasibility predicate depends on the
+cell architecture:
+
+* ClosedM1 — the two pins must sit on the same M1 track (equal x) with
+  a free track span across any intervening rows (γ limits the span).
+* OpenM1 — the pins' x-projections must overlap by at least δ and a
+  free M1 column must exist inside the overlap within the γ row span.
+
+Nearly-aligned pins can still be connected mostly on M1 with a short
+M2 jog.  Such routes consume M1 wirelength and two via12 per route —
+they are what a commercial router produces *before* the optimizer
+aligns pins, and they are exactly the "long vertical M1 routings that
+are not used for direct vertical routing" the paper observes being
+removed (ExptB-1 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.design import Design
+from repro.routing.m1book import M1TrackBook
+from repro.routing.subnets import Subnet
+from repro.tech.arch import AlignmentMode
+
+
+@dataclass(frozen=True)
+class M1Route:
+    """A routed stage-1 subnet."""
+
+    subnet: Subnet
+    direct: bool  # True: dM1; False: jogged M1+M2 route
+    length: int  # routed wirelength contribution (DBU)
+    m1_length: int  # M1 portion of the length (DBU)
+    num_via12: int
+
+
+class M1Stage:
+    """Attempts stage-1 routes against the M1 track book."""
+
+    def __init__(
+        self,
+        design: Design,
+        book: M1TrackBook,
+        *,
+        gamma: int,
+        delta: int,
+        jog_max_sites: int,
+    ) -> None:
+        self.design = design
+        self.book = book
+        self.gamma = gamma
+        self.delta = delta
+        self.jog_max = jog_max_sites * design.tech.site_width
+        self.mode = design.tech.arch.alignment_mode
+
+    def try_route(self, subnet: Subnet) -> M1Route | None:
+        """Try a direct then a jogged M1 route for ``subnet``."""
+        if self.mode is AlignmentMode.NONE:
+            return None
+        if not (subnet.a.is_pin and subnet.b.is_pin):
+            return None
+        if self.mode is AlignmentMode.ALIGN:
+            route = self._direct_closedm1(subnet)
+        else:
+            route = self._direct_openm1(subnet)
+        if route is not None:
+            return route
+        return self._jog(subnet)
+
+    # -------------------------------------------------------- ClosedM1
+    def _direct_closedm1(self, subnet: Subnet) -> M1Route | None:
+        a, b = subnet.a.point, subnet.b.point
+        if a.x != b.x:
+            return None
+        tech = self.design.tech
+        row_a = tech.row_of(a.y - self.design.die.ylo)
+        row_b = tech.row_of(b.y - self.design.die.ylo)
+        span = abs(row_a - row_b)
+        if not 1 <= span <= self.gamma:
+            return None
+        column = tech.m1_track_of(a.x)
+        # The pins' own stripes occupy their rows; only the gap across
+        # intervening rows needs to be free.
+        ylo = self.design.die.ylo + (min(row_a, row_b) + 1) * (
+            tech.row_height
+        )
+        yhi = self.design.die.ylo + max(row_a, row_b) * tech.row_height - 1
+        if ylo <= yhi:
+            if not self.book.is_free(column, ylo, yhi):
+                return None
+            self.book.book(column, ylo, yhi)
+        length = abs(a.y - b.y)
+        return M1Route(
+            subnet, direct=True, length=length, m1_length=length,
+            num_via12=0,
+        )
+
+    # --------------------------------------------------------- OpenM1
+    def _direct_openm1(self, subnet: Subnet) -> M1Route | None:
+        overlap = self._pin_overlap(subnet)
+        if overlap is None:
+            return None
+        a, b = subnet.a.point, subnet.b.point
+        lo, hi = overlap
+        if hi - lo < self.delta:
+            return None
+        if abs(a.y - b.y) > self.gamma * self.design.tech.row_height:
+            return None
+        column = self._free_column(lo, hi, min(a.y, b.y), max(a.y, b.y))
+        if column is None:
+            return None
+        ylo, yhi = min(a.y, b.y), max(a.y, b.y)
+        self.book.book(column, ylo, max(yhi, ylo + 1))
+        track_x = self.design.tech.m1_track_x(column)
+        # Small horizontal landing on the pins' own M0 bars.
+        length = (yhi - ylo) + abs(track_x - a.x) + abs(track_x - b.x)
+        return M1Route(
+            subnet,
+            direct=True,
+            length=length,
+            m1_length=yhi - ylo,
+            num_via12=0,  # V01 x2, no via12
+        )
+
+    def _pin_overlap(self, subnet: Subnet) -> tuple[int, int] | None:
+        iv_a = self.design.instances[
+            subnet.a.pin.instance
+        ].pin_x_interval(subnet.a.pin.pin)
+        iv_b = self.design.instances[
+            subnet.b.pin.instance
+        ].pin_x_interval(subnet.b.pin.pin)
+        lo = max(iv_a.lo, iv_b.lo)
+        hi = min(iv_a.hi, iv_b.hi)
+        return (lo, hi) if lo <= hi else None
+
+    def _free_column(
+        self, xlo: int, xhi: int, ylo: int, yhi: int
+    ) -> int | None:
+        """Free M1 column whose track lies inside ``[xlo, xhi]``,
+        preferring the overlap center."""
+        tech = self.design.tech
+        first = tech.column_of(xlo + tech.site_width - 1)
+        last = tech.column_of(xhi)
+        candidates = [
+            c
+            for c in range(first, last + 1)
+            if xlo <= tech.m1_track_x(c) <= xhi
+        ]
+        mid = (xlo + xhi) / 2
+        candidates.sort(key=lambda c: abs(tech.m1_track_x(c) - mid))
+        for column in candidates:
+            if self.book.is_free(column, ylo, max(yhi, ylo + 1)):
+                return column
+        return None
+
+    # ------------------------------------------------------------- jog
+    def _jog(self, subnet: Subnet) -> M1Route | None:
+        a, b = subnet.a.point, subnet.b.point
+        tech = self.design.tech
+        row_a = tech.row_of(a.y - self.design.die.ylo)
+        row_b = tech.row_of(b.y - self.design.die.ylo)
+        span = abs(row_a - row_b)
+        if not 1 <= span <= self.gamma:
+            return None
+        dx = abs(a.x - b.x)
+        if dx == 0 or dx > self.jog_max:
+            return None
+        dy = abs(a.y - b.y)
+        # Two vertical M1 pieces joined by an M2 jog: M1 carries the
+        # vertical travel plus the overshoot to reach the jog track,
+        # M2 the dx, with a via12 pair at the jog.  The 3/2 overshoot
+        # models the detour to a free M2 track at the row boundary.
+        m1_len = dy + dy // 2
+        return M1Route(
+            subnet,
+            direct=False,
+            length=dx + m1_len,
+            m1_length=m1_len,
+            num_via12=2,
+        )

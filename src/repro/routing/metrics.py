@@ -1,0 +1,40 @@
+"""Routing result metrics — the Table 2 columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RouteMetrics:
+    """Aggregate routing metrics of one route run.
+
+    All lengths are DBU.  ``num_dm1`` counts subnets routed with a
+    single direct vertical M1 segment (the paper's #dM1); jogged
+    M1+M2 routes contribute to ``m1_wirelength`` but not to
+    ``num_dm1``.
+    """
+
+    routed_wirelength: int = 0
+    m1_wirelength: int = 0
+    num_dm1: int = 0
+    num_jog_m1: int = 0
+    num_via12: int = 0
+    num_drvs: int = 0
+    num_subnets: int = 0
+    num_gcell_subnets: int = 0
+    hpwl: int = 0
+    route_seconds: float = 0.0
+    #: Routed length per net (DBU) — consumed by timing and power.
+    net_lengths: dict[str, int] = field(default_factory=dict)
+
+    def as_row(self, dbu_per_micron: int = 1000) -> dict[str, float]:
+        """Human-unit dictionary for reporting (microns for lengths)."""
+        return {
+            "RWL (um)": self.routed_wirelength / dbu_per_micron,
+            "M1 WL (um)": self.m1_wirelength / dbu_per_micron,
+            "#dM1": self.num_dm1,
+            "#via12": self.num_via12,
+            "#DRVs": self.num_drvs,
+            "HPWL (um)": self.hpwl / dbu_per_micron,
+        }

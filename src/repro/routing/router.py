@@ -1,0 +1,186 @@
+"""Route orchestration: stage 1 + stage 2 + rip-up/re-route + metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.netlist.design import Design, PinRef
+from repro.routing.gcell import GCellGrid, GridConfig
+from repro.routing.m1book import build_blockage_book
+from repro.routing.m1route import M1Route, M1Stage
+from repro.routing.metrics import RouteMetrics
+from repro.routing.subnets import Subnet, decompose
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router knobs.
+
+    Attributes:
+        grid: gcell grid geometry/derating.
+        gamma: maximum dM1 row span; None selects the architecture
+            default (1 for ClosedM1, 3 for OpenM1 — paper §3).
+        delta: minimum OpenM1 pin overlap (DBU) for a direct route.
+        jog_max_sites: maximum x mismatch (sites) for a jogged M1 route.
+        rr_passes: rip-up-and-reroute iterations after the first pass.
+        topology: net decomposition — ``"mst"`` (default) or
+            ``"steiner"`` (greedy Hanan RSMT; see
+            :mod:`repro.routing.steiner`).
+    """
+
+    grid: GridConfig = field(default_factory=GridConfig)
+    gamma: int | None = None
+    delta: int = 36
+    jog_max_sites: int = 4
+    rr_passes: int = 2
+    topology: str = "mst"
+
+
+class DetailedRouter:
+    """Two-stage router producing Table 2-style metrics.
+
+    The router is deterministic: subnets are processed shortest-first
+    with name tiebreaks, and all resources are booked in that order.
+    """
+
+    def __init__(
+        self, design: Design, config: RouterConfig | None = None
+    ) -> None:
+        self.design = design
+        self.config = config or RouterConfig()
+        gamma = self.config.gamma
+        if gamma is None:
+            gamma = design.tech.arch.default_gamma
+        self.gamma = gamma
+        #: Populated by route(): stage-1 routes, gcell paths and the
+        #: grid itself — consumed by visualization and debugging.
+        self.last_m1_routes: list[M1Route] = []
+        self.last_paths: list[tuple[Subnet, list[tuple[int, int]]]] = []
+        self.last_grid: GCellGrid | None = None
+
+    def route(self) -> RouteMetrics:
+        """Route the whole design and return aggregate metrics."""
+        started = time.perf_counter()
+        design = self.design
+        book = build_blockage_book(design)
+        stage1 = M1Stage(
+            design,
+            book,
+            gamma=self.gamma,
+            delta=self.config.delta,
+            jog_max_sites=self.config.jog_max_sites,
+        )
+        grid = GCellGrid(design, self.config.grid)
+
+        if self.config.topology == "steiner":
+            from repro.routing.steiner import decompose_steiner
+
+            decompose_fn = decompose_steiner
+        else:
+            decompose_fn = decompose
+        subnets: list[Subnet] = []
+        for _, net in sorted(design.nets.items()):
+            subnets.extend(decompose_fn(design, net))
+        subnets.sort(key=lambda s: (s.manhattan_length, s.net))
+
+        m1_routes: list[M1Route] = []
+        gcell_tasks: list[Subnet] = []
+        for subnet in subnets:
+            route = stage1.try_route(subnet)
+            if route is not None:
+                m1_routes.append(route)
+            else:
+                gcell_tasks.append(subnet)
+
+        paths: list[tuple[Subnet, list[tuple[int, int]]]] = []
+        for subnet in gcell_tasks:
+            path = grid.route_subnet(subnet.a.point, subnet.b.point)
+            paths.append((subnet, path))
+
+        for _ in range(self.config.rr_passes):
+            if grid.overflow_edges() == 0:
+                break
+            grid.add_history()
+            paths = self._reroute_overflowed(grid, paths)
+
+        self.last_m1_routes = m1_routes
+        self.last_paths = paths
+        self.last_grid = grid
+        return self._collect(grid, m1_routes, paths, started)
+
+    def _reroute_overflowed(
+        self,
+        grid: GCellGrid,
+        paths: list[tuple[Subnet, list[tuple[int, int]]]],
+    ) -> list[tuple[Subnet, list[tuple[int, int]]]]:
+        """Rip up paths through overflowed edges and route them again."""
+
+        def uses_overflow(path: list[tuple[int, int]]) -> bool:
+            for (x0, y0), (x1, y1) in zip(path, path[1:]):
+                if y0 == y1:
+                    if grid.usage_h[y0, min(x0, x1)] > grid.cap_h:
+                        return True
+                elif grid.usage_v[min(y0, y1), x0] > grid.cap_v:
+                    return True
+            return False
+
+        keep: list[tuple[Subnet, list[tuple[int, int]]]] = []
+        redo: list[Subnet] = []
+        for subnet, path in paths:
+            if uses_overflow(path):
+                grid.unroute(path)
+                redo.append(subnet)
+            else:
+                keep.append((subnet, path))
+        for subnet in redo:
+            keep.append(
+                (subnet, grid.route_subnet(subnet.a.point, subnet.b.point))
+            )
+        return keep
+
+    def _collect(
+        self,
+        grid: GCellGrid,
+        m1_routes: list[M1Route],
+        paths: list[tuple[Subnet, list[tuple[int, int]]]],
+        started: float,
+    ) -> RouteMetrics:
+        metrics = RouteMetrics()
+        metrics.hpwl = self.design.total_hpwl()
+        metrics.num_subnets = len(m1_routes) + len(paths)
+        metrics.num_gcell_subnets = len(paths)
+
+        via12_pins: set[PinRef] = set()
+        for route in m1_routes:
+            metrics.routed_wirelength += route.length
+            metrics.m1_wirelength += route.m1_length
+            metrics.num_via12 += route.num_via12
+            net = route.subnet.net
+            metrics.net_lengths[net] = (
+                metrics.net_lengths.get(net, 0) + route.length
+            )
+            if route.direct:
+                metrics.num_dm1 += 1
+            else:
+                metrics.num_jog_m1 += 1
+
+        m1_share = grid.m1_vertical_share
+        for subnet, path in paths:
+            length = grid.path_length_dbu(
+                path, subnet.a.point, subnet.b.point
+            )
+            metrics.routed_wirelength += length
+            metrics.net_lengths[subnet.net] = (
+                metrics.net_lengths.get(subnet.net, 0) + length
+            )
+            vertical = grid.vertical_length_dbu(path)
+            metrics.m1_wirelength += round(vertical * m1_share)
+            for terminal in (subnet.a, subnet.b):
+                if terminal.is_pin:
+                    via12_pins.add(terminal.pin)
+
+        metrics.num_via12 += len(via12_pins)
+        metrics.num_drvs = grid.overflow_edges()
+        metrics.route_seconds = time.perf_counter() - started
+        return metrics

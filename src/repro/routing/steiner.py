@@ -1,0 +1,121 @@
+"""Rectilinear Steiner topology for net decomposition.
+
+The router decomposes nets into 2-pin subnets; MST decomposition
+(:mod:`repro.routing.subnets`) overestimates wirelength for nets
+whose terminals could share trunks.  This module provides a greedy
+rectilinear Steiner minimal tree: starting from the Manhattan MST, it
+repeatedly adds the Hanan-grid point that shrinks the tree the most
+(Borah-style improvement), giving the classic 5-10% average reduction
+at small cost for the net sizes that matter.
+
+Select it with ``RouterConfig(topology="steiner")``; nets larger than
+:data:`MAX_STEINER_TERMINALS` fall back to plain MST.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.netlist.design import Design, Net
+from repro.routing.subnets import Subnet, Terminal, net_terminals
+
+#: Nets with more terminals than this use plain MST (the greedy Hanan
+#: search is O(k^3) per added point).
+MAX_STEINER_TERMINALS = 8
+
+
+def _mst_length_and_edges(
+    points: list[Point],
+) -> tuple[int, list[tuple[int, int]]]:
+    """Prim MST over Manhattan distance; returns (length, edges)."""
+    k = len(points)
+    if k < 2:
+        return 0, []
+    in_tree = [False] * k
+    dist = [0] * k
+    closest = [0] * k
+    in_tree[0] = True
+    for i in range(1, k):
+        dist[i] = points[0].manhattan_distance(points[i])
+    edges: list[tuple[int, int]] = []
+    total = 0
+    for _ in range(k - 1):
+        best = -1
+        best_d = None
+        for i in range(k):
+            if not in_tree[i] and (
+                best_d is None or dist[i] < best_d
+            ):
+                best_d = dist[i]
+                best = i
+        in_tree[best] = True
+        total += best_d
+        edges.append((closest[best], best))
+        for i in range(k):
+            if not in_tree[i]:
+                d = points[best].manhattan_distance(points[i])
+                if d < dist[i]:
+                    dist[i] = d
+                    closest[i] = best
+    return total, edges
+
+
+def steiner_points(terminal_points: list[Point]) -> list[Point]:
+    """Greedy Hanan-grid Steiner point selection.
+
+    Returns the added Steiner points (possibly empty).  The tree over
+    ``terminal_points + result`` is never longer than the MST over
+    ``terminal_points`` alone.
+    """
+    if not 3 <= len(terminal_points) <= MAX_STEINER_TERMINALS:
+        return []
+    points = list(terminal_points)
+    added: list[Point] = []
+    best_len, _ = _mst_length_and_edges(points)
+    xs = sorted({p.x for p in points})
+    ys = sorted({p.y for p in points})
+    for _round in range(len(terminal_points) - 2):
+        best_gain = 0
+        best_point: Point | None = None
+        existing = set(points)
+        for x in xs:
+            for y in ys:
+                candidate = Point(x, y)
+                if candidate in existing:
+                    continue
+                length, _ = _mst_length_and_edges(
+                    points + [candidate]
+                )
+                gain = best_len - length
+                if gain > best_gain:
+                    best_gain = gain
+                    best_point = candidate
+        if best_point is None:
+            break
+        points.append(best_point)
+        added.append(best_point)
+        best_len -= best_gain
+        xs = sorted({p.x for p in points})
+        ys = sorted({p.y for p in points})
+    return added
+
+
+def decompose_steiner(design: Design, net: Net) -> list[Subnet]:
+    """Steiner-topology decomposition of ``net`` into 2-pin subnets.
+
+    Steiner points become pad-like terminals (``pin=None``), so they
+    never contribute via12 or stage-1 M1 bookings — they are pure
+    trunk junctions.
+    """
+    terminals = net_terminals(design, net)
+    if len(terminals) < 2:
+        return []
+    points = [t.point for t in terminals]
+    extra = steiner_points(points)
+    all_terminals = terminals + [Terminal(p, None) for p in extra]
+    _, edges = _mst_length_and_edges(
+        [t.point for t in all_terminals]
+    )
+    return [
+        Subnet(net.name, all_terminals[i], all_terminals[j])
+        for i, j in edges
+    ]

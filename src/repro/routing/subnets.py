@@ -1,0 +1,88 @@
+"""Net decomposition into 2-pin subnets (Prim MST on Manhattan
+distance).
+
+The paper counts dM1 per (sub)net — "a (sub)net routing using only one
+M1 routing segment".  We reproduce that accounting by decomposing each
+multi-terminal net into MST edges and routing each edge independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+from repro.netlist.design import Design, Net, PinRef
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """One routable net terminal: an instance pin or a fixed pad."""
+
+    point: Point
+    pin: PinRef | None  # None for IO pads
+
+    @property
+    def is_pin(self) -> bool:
+        return self.pin is not None
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """A 2-terminal routing task produced by MST decomposition."""
+
+    net: str
+    a: Terminal
+    b: Terminal
+
+    @property
+    def manhattan_length(self) -> int:
+        return self.a.point.manhattan_distance(self.b.point)
+
+
+def net_terminals(design: Design, net: Net) -> list[Terminal]:
+    """Collect the net's terminals at current placement."""
+    terminals = [
+        Terminal(
+            design.instances[ref.instance].pin_position(ref.pin), ref
+        )
+        for ref in net.pins
+    ]
+    terminals.extend(Terminal(pad, None) for pad in net.pads)
+    return terminals
+
+
+def decompose(design: Design, net: Net) -> list[Subnet]:
+    """Prim MST decomposition of ``net`` into 2-pin subnets."""
+    terminals = net_terminals(design, net)
+    k = len(terminals)
+    if k < 2:
+        return []
+    in_tree = [False] * k
+    dist = [float("inf")] * k
+    closest = [0] * k
+    in_tree[0] = True
+    for i in range(1, k):
+        dist[i] = terminals[0].point.manhattan_distance(
+            terminals[i].point
+        )
+    edges: list[Subnet] = []
+    for _ in range(k - 1):
+        best = -1
+        best_d = float("inf")
+        for i in range(k):
+            if not in_tree[i] and dist[i] < best_d:
+                best_d = dist[i]
+                best = i
+        in_tree[best] = True
+        edges.append(
+            Subnet(net.name, terminals[closest[best]], terminals[best])
+        )
+        for i in range(k):
+            if not in_tree[i]:
+                d = terminals[best].point.manhattan_distance(
+                    terminals[i].point
+                )
+                if d < dist[i]:
+                    dist[i] = d
+                    closest[i] = best
+    return edges

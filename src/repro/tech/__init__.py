@@ -1,0 +1,28 @@
+"""Technology description: layers, sites, tracks, cell architectures.
+
+This package plays the role of the 7nm technology files the paper
+obtains from an industrial consortium.  It defines:
+
+* :class:`Layer` / :class:`ViaLayer` — routing layer stack with
+  preferred directions and pitches.
+* :class:`CellArchitecture` — the three standard-cell templates the
+  paper compares (conventional 12-track, ClosedM1 7.5-track, OpenM1
+  7.5-track) and the alignment semantics each implies.
+* :class:`Technology` — the assembled technology with site geometry and
+  grid-snapping helpers.
+* :func:`make_tech` — the default sub-10nm technology factory.
+"""
+
+from repro.tech.arch import AlignmentMode, CellArchitecture
+from repro.tech.layers import Direction, Layer, ViaLayer
+from repro.tech.technology import Technology, make_tech
+
+__all__ = [
+    "AlignmentMode",
+    "CellArchitecture",
+    "Direction",
+    "Layer",
+    "ViaLayer",
+    "Technology",
+    "make_tech",
+]

@@ -1,0 +1,80 @@
+"""The three standard-cell architectures the paper studies (Figure 1).
+
+The architecture determines two things the optimizer cares about:
+
+* which layer signal pins live on, and hence their shape (1-D vertical
+  M1 stripes for ClosedM1, horizontal M0 bars for OpenM1, horizontal M1
+  pins plus M1 power rails for the conventional 12-track template); and
+* the *direct vertical M1 route* feasibility predicate — exact x
+  alignment for ClosedM1 versus x-projection overlap for OpenM1 — which
+  selects between the §3.1 and §3.2 MILP formulations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AlignmentMode(enum.Enum):
+    """How two pins must relate in x for a direct vertical M1 route."""
+
+    #: Pins must share the exact same x coordinate (ClosedM1 — pins are
+    #: 1-D vertical stripes on the site-pitch M1 grid).
+    ALIGN = "align"
+
+    #: Pin x-projections must overlap by at least delta (OpenM1 — pins
+    #: are horizontal M0 bars; the M1 segment lands anywhere inside the
+    #: shared x-range).
+    OVERLAP = "overlap"
+
+    #: Direct vertical M1 routing unavailable (conventional cells block
+    #: M1 with power rails; pin access is via M2 only).
+    NONE = "none"
+
+
+class CellArchitecture(enum.Enum):
+    """Standard-cell template (paper §1.1, Figure 1)."""
+
+    #: Conventional 12-track cell: M1 VDD/VSS rails, horizontal M1 pins.
+    CONV_12T = "conv12t"
+
+    #: ClosedM1 7.5-track cell: 1-D vertical M1 pins (including
+    #: VDD/VSS at the cell boundary), M1 pitch = site width.
+    CLOSED_M1 = "closedm1"
+
+    #: OpenM1 7.5-track cell: horizontal M0 pins, M1 fully open for
+    #: routing.
+    OPEN_M1 = "openm1"
+
+    @property
+    def track_count(self) -> float:
+        """Cell height in M2 tracks."""
+        return 12.0 if self is CellArchitecture.CONV_12T else 7.5
+
+    @property
+    def pin_layer_index(self) -> int:
+        """Routing level of signal pins (0 = M0, 1 = M1)."""
+        return 0 if self is CellArchitecture.OPEN_M1 else 1
+
+    @property
+    def alignment_mode(self) -> AlignmentMode:
+        """Direct-vertical-M1 feasibility predicate for this template."""
+        if self is CellArchitecture.CLOSED_M1:
+            return AlignmentMode.ALIGN
+        if self is CellArchitecture.OPEN_M1:
+            return AlignmentMode.OVERLAP
+        return AlignmentMode.NONE
+
+    @property
+    def supports_direct_m1(self) -> bool:
+        """True when inter-row M1 routing is possible at all."""
+        return self.alignment_mode is not AlignmentMode.NONE
+
+    @property
+    def default_gamma(self) -> int:
+        """Paper default for the maximum dM1 row span (γ).
+
+        ClosedM1 constraint (4) allows |Δy| <= H, i.e. γ = 1; OpenM1
+        experiments use γ = 3 (§3.2).
+        """
+        return 3 if self is CellArchitecture.OPEN_M1 else 1

@@ -1,0 +1,66 @@
+"""Routing layer stack primitives."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+    def orthogonal(self) -> "Direction":
+        if self is Direction.HORIZONTAL:
+            return Direction.VERTICAL
+        return Direction.HORIZONTAL
+
+
+@dataclass(frozen=True, slots=True)
+class Layer:
+    """A routing metal layer.
+
+    Attributes:
+        name: layer name, e.g. ``"M1"``.
+        index: routing level; M0 is 0, M1 is 1, and so on.
+        direction: preferred (and, in sub-10nm SAMP regimes, mandatory)
+            routing direction.
+        pitch: track pitch in DBU.
+        offset: offset of track 0 from the origin, in DBU.
+        width: drawn wire width in DBU.
+    """
+
+    name: str
+    index: int
+    direction: Direction
+    pitch: int
+    offset: int
+    width: int
+
+    def track_coord(self, track: int) -> int:
+        """Coordinate of track ``track`` along the non-preferred axis."""
+        return self.offset + track * self.pitch
+
+    def nearest_track(self, coord: int) -> int:
+        """Index of the track closest to ``coord``."""
+        return round((coord - self.offset) / self.pitch)
+
+
+@dataclass(frozen=True, slots=True)
+class ViaLayer:
+    """A cut layer connecting two adjacent metal layers.
+
+    Attributes:
+        name: via layer name, e.g. ``"V12"``.
+        below: index of the lower metal layer.
+        above: index of the upper metal layer.
+        resistance: lumped per-cut resistance in ohm, used by the
+            timing estimator.
+    """
+
+    name: str
+    below: int
+    above: int
+    resistance: float = 20.0

@@ -1,0 +1,151 @@
+"""Assembled technology: layer stack, site geometry, grid helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.arch import CellArchitecture
+from repro.tech.layers import Direction, Layer, ViaLayer
+
+#: Database units per micron.  1 DBU = 1 nm.
+DBU_PER_MICRON = 1000
+
+#: M2 (and M1/M0) track pitch in DBU for the sub-10nm node we model.
+_METAL_PITCH = 36
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process technology as seen by placement and routing.
+
+    Attributes:
+        name: technology name.
+        arch: standard-cell architecture the libraries of this
+            technology follow.
+        site_width: placement site width in DBU.  For ClosedM1 the M1
+            pitch equals this value (paper §1.1), which is what makes
+            exact pin alignment meaningful on the site grid.
+        row_height: placement row height in DBU (H in the MILP).
+        layers: metal layers, indexed by routing level (M0 first).
+        via_layers: cut layers between adjacent metals.
+        unit_r: wire resistance per DBU of routed length (ohm/nm).
+        unit_c: wire capacitance per DBU of routed length (fF/nm).
+    """
+
+    name: str
+    arch: CellArchitecture
+    site_width: int
+    row_height: int
+    layers: tuple[Layer, ...]
+    via_layers: tuple[ViaLayer, ...]
+    unit_r: float = 2.0
+    unit_c: float = 0.0002
+    dbu_per_micron: int = DBU_PER_MICRON
+    _layer_by_name: dict[str, Layer] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for i, layer in enumerate(self.layers):
+            if layer.index != i:
+                raise ValueError(
+                    f"layer {layer.name} has index {layer.index}, "
+                    f"expected {i}"
+                )
+        object.__setattr__(
+            self,
+            "_layer_by_name",
+            {layer.name: layer for layer in self.layers},
+        )
+
+    # ----------------------------------------------------------- layers
+    def layer(self, name: str) -> Layer:
+        """Look a metal layer up by name (raises KeyError if unknown)."""
+        return self._layer_by_name[name]
+
+    @property
+    def m1(self) -> Layer:
+        return self.layers[1]
+
+    def via_between(self, below: int, above: int) -> ViaLayer:
+        """Return the cut layer joining metal levels ``below``/``above``."""
+        for via in self.via_layers:
+            if via.below == below and via.above == above:
+                return via
+        raise KeyError(f"no via layer between M{below} and M{above}")
+
+    # ------------------------------------------------------------ grids
+    def microns(self, dbu: float) -> float:
+        """Convert DBU to microns."""
+        return dbu / self.dbu_per_micron
+
+    def dbu(self, microns: float) -> int:
+        """Convert microns to (rounded) DBU."""
+        return round(microns * self.dbu_per_micron)
+
+    def site_x(self, column: int) -> int:
+        """x coordinate of the left edge of site ``column``."""
+        return column * self.site_width
+
+    def column_of(self, x: int) -> int:
+        """Site column containing coordinate ``x`` (floor division)."""
+        return x // self.site_width
+
+    def row_y(self, row: int) -> int:
+        """y coordinate of the bottom edge of placement row ``row``."""
+        return row * self.row_height
+
+    def row_of(self, y: int) -> int:
+        """Placement row containing coordinate ``y`` (floor division)."""
+        return y // self.row_height
+
+    def m1_track_x(self, column: int) -> int:
+        """x coordinate of the M1 track in site column ``column``.
+
+        ClosedM1 has exactly one M1 track per site (M1 pitch = site
+        width), centered in the site.
+        """
+        return self.site_x(column) + self.site_width // 2
+
+    def m1_track_of(self, x: int) -> int:
+        """Index of the M1 track at (or containing) coordinate ``x``."""
+        return self.column_of(x)
+
+
+def make_tech(
+    arch: CellArchitecture = CellArchitecture.CLOSED_M1,
+) -> Technology:
+    """Build the default sub-10nm technology for ``arch``.
+
+    The 7.5-track templates (ClosedM1, OpenM1) use a 36 nm metal pitch,
+    270 nm row height and a 36 nm site whose width equals the M1 pitch.
+    The conventional 12-track template keeps the same site width with a
+    432 nm row.
+    """
+    pitch = _METAL_PITCH
+    row_height = round(arch.track_count * pitch)
+    layers = (
+        Layer("M0", 0, Direction.HORIZONTAL, pitch, pitch // 2, 18),
+        Layer("M1", 1, Direction.VERTICAL, pitch, pitch // 2, 18),
+        Layer("M2", 2, Direction.HORIZONTAL, pitch, pitch // 2, 18),
+        Layer("M3", 3, Direction.VERTICAL, 48, 24, 24),
+        Layer("M4", 4, Direction.HORIZONTAL, 48, 24, 24),
+        Layer("M5", 5, Direction.VERTICAL, 64, 32, 32),
+        Layer("M6", 6, Direction.HORIZONTAL, 64, 32, 32),
+    )
+    vias = (
+        ViaLayer("V01", 0, 1),
+        ViaLayer("V12", 1, 2),
+        ViaLayer("V23", 2, 3),
+        ViaLayer("V34", 3, 4),
+        ViaLayer("V45", 4, 5),
+        ViaLayer("V56", 5, 6),
+    )
+    return Technology(
+        name=f"sub10nm-{arch.value}",
+        arch=arch,
+        site_width=pitch,
+        row_height=row_height,
+        layers=layers,
+        via_layers=vias,
+    )

@@ -1,0 +1,46 @@
+"""Timing-criticality net weights (paper §6 future work (ii)).
+
+The paper lists "extension of our placement objective function to
+consider other design criteria, including timing criticality" as
+future work.  This module implements the natural version: per-net
+HPWL weights β_n derived from STA arrival times, so the windowed MILP
+resists stretching near-critical nets while still trading slack-rich
+nets for alignments.
+
+The weight of a net with criticality c = arrival / critical_path is
+``1 + boost * c**2`` — quadratic so only genuinely critical nets pay
+a premium.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.design import Design
+from repro.timing.sta import TimingReport
+
+
+def criticality_weights(
+    design: Design,
+    report: TimingReport,
+    *,
+    boost: float = 4.0,
+) -> dict[str, float]:
+    """Compute per-net β multipliers from an STA report.
+
+    Args:
+        design: the analyzed design (used for the net universe).
+        report: STA result whose ``arrival_ps`` feeds criticality.
+        boost: weight premium at criticality 1 (the critical path).
+
+    Returns:
+        net name -> multiplier (>= 1.0); nets without timing arcs
+        (clocks, dangling) keep weight 1.0.
+    """
+    critical = max(report.critical_path_ps, 1e-9)
+    weights: dict[str, float] = {}
+    for name in design.nets:
+        arrival = report.arrival_ps.get(name)
+        if arrival is None:
+            continue
+        criticality = min(1.0, arrival / critical)
+        weights[name] = 1.0 + boost * criticality * criticality
+    return weights

@@ -1,0 +1,179 @@
+"""Topological static timing analysis.
+
+Model: every gate output has arrival = max(input arrivals) + stage
+delay, where stage delay = cell intrinsic + drive resistance x load
+(pin caps + wire cap) + distributed wire delay (0.5 r c L^2).  Launch
+points are flop CK->Q arcs and primary inputs (pads); capture points
+are flop D pins.  The netlist generator guarantees acyclic
+combinational logic, so a single topological pass suffices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.library.pins import PinDirection
+from repro.netlist.design import Design, Net
+
+#: Flop setup time, ps.
+_SETUP_PS = 15.0
+
+
+@dataclass
+class TimingReport:
+    """STA result.
+
+    Attributes:
+        critical_path_ps: longest register-to-register (or pad-to-
+            register) combinational delay including launch clk->q and
+            capture setup.
+        clock_period_ps: period slack is measured against.
+        wns_ps: worst negative slack (>= 0 when timing is met).
+        tns_ps: total negative slack over all capture points.
+        arrival_ps: arrival time at each gate output net.
+    """
+
+    critical_path_ps: float
+    clock_period_ps: float
+    wns_ps: float
+    tns_ps: float
+    arrival_ps: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wns_ns(self) -> float:
+        """WNS in ns, the Table 2 unit (negative = violation)."""
+        return min(0.0, self.wns_ps) / 1000.0
+
+
+def _net_load_ff(design: Design, net: Net, length_dbu: int) -> float:
+    """Total load on a net: sink pin caps + wire capacitance."""
+    load = design.tech.unit_c * length_dbu
+    for ref in net.pins:
+        inst = design.instances[ref.instance]
+        pin = inst.macro.pin(ref.pin)
+        if pin.direction is PinDirection.INPUT:
+            load += inst.macro.timing.input_cap_ff
+    return load
+
+
+def _stage_delay_ps(
+    design: Design, driver_inst: str, net: Net, length_dbu: int
+) -> float:
+    inst = design.instances[driver_inst]
+    timing = inst.macro.timing
+    load = _net_load_ff(design, net, length_dbu)
+    wire_c = design.tech.unit_c * length_dbu
+    wire_r = design.tech.unit_r * length_dbu
+    # kohm x fF = ps; wire_r is in ohm so scale by 1e-3.
+    distributed = 0.5 * wire_r * 1e-3 * wire_c
+    return (
+        timing.intrinsic_ps
+        + timing.drive_resistance_kohm * load
+        + distributed
+    )
+
+
+def analyze_timing(
+    design: Design,
+    net_lengths: dict[str, int] | None = None,
+    clock_period_ps: float | None = None,
+) -> TimingReport:
+    """Run STA on ``design``.
+
+    Args:
+        design: placed (and ideally routed) design.
+        net_lengths: routed length per net; falls back to net HPWL.
+        clock_period_ps: target period.  When None, the period is set
+            to the measured critical path (zero-slack reference, which
+            is how the paper's testcases show WNS = 0.000).
+    """
+    lengths: dict[str, int] = net_lengths if net_lengths is not None else {}
+
+    def length_of(net: Net) -> int:
+        cached = lengths.get(net.name)
+        return cached if cached is not None else design.net_hpwl(net)
+
+    # Build gate-level combinational graph: edge driver -> sink gate.
+    arrival: dict[str, float] = {}
+    indegree: dict[str, int] = {}
+    sinks_of_net: dict[str, list[str]] = {}
+    driver_of_net: dict[str, str] = {}
+
+    for name, inst in sorted(design.instances.items()):
+        count = 0
+        for pin in inst.macro.input_pins:
+            if pin.name == inst.macro.spec.clock_pin:
+                continue
+            if inst.macro.spec.is_sequential:
+                continue  # D input is a capture point, not a pass-through
+            net_name = inst.net_of_pin.get(pin.name)
+            if net_name is None:
+                continue
+            count += 1
+            sinks_of_net.setdefault(net_name, []).append(name)
+        indegree[name] = count
+        for pin in inst.macro.output_pins:
+            net_name = inst.net_of_pin.get(pin.name)
+            if net_name is not None:
+                driver_of_net[net_name] = name
+
+    # Launch: flops and pure sources start at their stage delay.
+    queue: deque[str] = deque()
+    for name, inst in sorted(design.instances.items()):
+        if inst.macro.spec.is_sequential or indegree[name] == 0:
+            queue.append(name)
+            arrival[name] = 0.0
+
+    net_arrival: dict[str, float] = {}
+    visited: set[str] = set()
+    while queue:
+        name = queue.popleft()
+        if name in visited:
+            continue
+        visited.add(name)
+        inst = design.instances[name]
+        base = arrival.get(name, 0.0)
+        for pin in inst.macro.output_pins:
+            net_name = inst.net_of_pin.get(pin.name)
+            if net_name is None:
+                continue
+            net = design.nets[net_name]
+            out_arrival = base + _stage_delay_ps(
+                design, name, net, length_of(net)
+            )
+            net_arrival[net_name] = out_arrival
+            for sink in sinks_of_net.get(net_name, []):
+                arrival[sink] = max(arrival.get(sink, 0.0), out_arrival)
+                indegree[sink] -= 1
+                if indegree[sink] == 0:
+                    queue.append(sink)
+
+    # Capture: flop D pins.
+    slacks: list[float] = []
+    worst = 0.0
+    for name, inst in sorted(design.instances.items()):
+        if not inst.macro.spec.is_sequential:
+            continue
+        for pin in inst.macro.input_pins:
+            if pin.name == inst.macro.spec.clock_pin:
+                continue
+            net_name = inst.net_of_pin.get(pin.name)
+            if net_name is None:
+                continue
+            t = net_arrival.get(net_name, 0.0) + _SETUP_PS
+            worst = max(worst, t)
+            slacks.append(t)
+
+    critical = worst
+    period = clock_period_ps if clock_period_ps is not None else critical
+    slack_values = [period - t for t in slacks]
+    wns = min(slack_values) if slack_values else 0.0
+    tns = sum(min(0.0, s) for s in slack_values)
+    return TimingReport(
+        critical_path_ps=critical,
+        clock_period_ps=period,
+        wns_ps=wns,
+        tns_ps=tns,
+        arrival_ps=net_arrival,
+    )

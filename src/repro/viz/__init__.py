@@ -1,0 +1,10 @@
+"""Layout visualization (SVG).
+
+Renders placements, pin geometry, direct vertical M1 routes and
+congestion overlays as standalone SVG files — the debugging view the
+paper's screenshots (Figures 2 and 8) come from.
+"""
+
+from repro.viz.svg import render_design_svg, render_routes_svg
+
+__all__ = ["render_design_svg", "render_routes_svg"]

@@ -1,0 +1,188 @@
+"""SVG renderers for placements and routing results."""
+
+from __future__ import annotations
+
+from repro.netlist.design import Design
+from repro.routing.router import DetailedRouter
+
+#: Fill colors by cell function family.
+_FAMILY_COLORS = {
+    "INV": "#9ecae1",
+    "BUF": "#c6dbef",
+    "NAND": "#fdae6b",
+    "NOR": "#fdd0a2",
+    "AND": "#fee6ce",
+    "OR": "#fee6ce",
+    "AOI": "#a1d99b",
+    "OAI": "#c7e9c0",
+    "XOR": "#bcbddc",
+    "XNOR": "#dadaeb",
+    "MUX": "#d9d9d9",
+    "DFF": "#fc9272",
+}
+
+
+def _family_color(function: str) -> str:
+    for prefix, color in _FAMILY_COLORS.items():
+        if function.startswith(prefix):
+            return color
+    return "#eeeeee"
+
+
+class _SvgCanvas:
+    """Minimal SVG document builder (y-axis flipped to layout-up)."""
+
+    def __init__(self, design: Design, scale: float) -> None:
+        self.scale = scale
+        self.height = design.die.height * scale
+        self.width = design.die.width * scale
+        self.die = design.die
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">',
+            f'<rect x="0" y="0" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" fill="white" '
+            'stroke="black"/>',
+        ]
+
+    def _x(self, x: int) -> float:
+        return (x - self.die.xlo) * self.scale
+
+    def _y(self, y: int) -> float:
+        return self.height - (y - self.die.ylo) * self.scale
+
+    def rect(
+        self, xlo, ylo, xhi, yhi, fill, opacity=1.0, stroke="none",
+        title=None,
+    ) -> None:
+        x, y = self._x(xlo), self._y(yhi)
+        w = (xhi - xlo) * self.scale
+        h = (yhi - ylo) * self.scale
+        body = (
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}" '
+            f'fill-opacity="{opacity}" stroke="{stroke}" '
+            'stroke-width="0.5"'
+        )
+        if title:
+            self.parts.append(f"{body}><title>{title}</title></rect>")
+        else:
+            self.parts.append(body + "/>")
+
+    def line(self, x1, y1, x2, y2, stroke, width=1.5, opacity=1.0):
+        self.parts.append(
+            f'<line x1="{self._x(x1):.1f}" y1="{self._y(y1):.1f}" '
+            f'x2="{self._x(x2):.1f}" y2="{self._y(y2):.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}" '
+            f'stroke-opacity="{opacity}"/>'
+        )
+
+    def to_string(self) -> str:
+        return "\n".join(self.parts + ["</svg>"]) + "\n"
+
+
+def render_design_svg(
+    design: Design,
+    *,
+    scale: float = 0.08,
+    show_pins: bool = True,
+) -> str:
+    """Render the placement: rows, cells (colored by function family,
+    hatched when flipped) and pin access shapes."""
+    canvas = _SvgCanvas(design, scale)
+    tech = design.tech
+    # Alternating row shading.
+    for row in range(design.num_rows):
+        if row % 2:
+            canvas.rect(
+                design.die.xlo,
+                design.die.ylo + row * tech.row_height,
+                design.die.xhi,
+                design.die.ylo + (row + 1) * tech.row_height,
+                fill="#f5f5f5",
+            )
+    for name, inst in sorted(design.instances.items()):
+        bbox = inst.bbox
+        canvas.rect(
+            bbox.xlo,
+            bbox.ylo,
+            bbox.xhi,
+            bbox.yhi,
+            fill=_family_color(inst.macro.spec.function),
+            opacity=0.85,
+            stroke="#555555",
+            title=f"{name} ({inst.macro.name}, "
+            f"{inst.orientation.value})",
+        )
+        if inst.flipped:
+            canvas.line(
+                bbox.xlo, bbox.ylo, bbox.xhi, bbox.yhi,
+                stroke="#555555", width=0.5, opacity=0.6,
+            )
+        if show_pins:
+            for pin in inst.macro.signal_pins:
+                pos = inst.pin_position(pin.name)
+                iv = inst.pin_x_interval(pin.name)
+                if iv.length:
+                    canvas.line(
+                        iv.lo, pos.y, iv.hi, pos.y,
+                        stroke="#1f4e79", width=1.0,
+                    )
+                else:
+                    canvas.line(
+                        pos.x, pos.y - 40, pos.x, pos.y + 40,
+                        stroke="#1f4e79", width=1.0,
+                    )
+    return canvas.to_string()
+
+
+def render_routes_svg(
+    design: Design,
+    router: DetailedRouter,
+    *,
+    scale: float = 0.08,
+) -> str:
+    """Render the routing view from a completed router run: direct
+    vertical M1 routes (green), jogged M1 routes (orange) and
+    overflowed gcell edges (red heat)."""
+    if router.last_grid is None:
+        raise ValueError("router has not routed yet")
+    canvas = _SvgCanvas(design, scale)
+    grid = router.last_grid
+
+    # Congestion heat first (underlay).
+    for ey in range(grid.usage_h.shape[0]):
+        for ex in range(grid.usage_h.shape[1]):
+            over = grid.usage_h[ey, ex] - grid.cap_h
+            if over > 0:
+                a = grid.center(ex, ey)
+                b = grid.center(ex + 1, ey)
+                canvas.line(
+                    a.x, a.y, b.x, b.y, stroke="#d62728",
+                    width=2.0 + over, opacity=0.5,
+                )
+    for ey in range(grid.usage_v.shape[0]):
+        for ex in range(grid.usage_v.shape[1]):
+            over = grid.usage_v[ey, ex] - grid.cap_v
+            if over > 0:
+                a = grid.center(ex, ey)
+                b = grid.center(ex, ey + 1)
+                canvas.line(
+                    a.x, a.y, b.x, b.y, stroke="#d62728",
+                    width=2.0 + over, opacity=0.5,
+                )
+
+    for inst in design.instances.values():
+        bbox = inst.bbox
+        canvas.rect(
+            bbox.xlo, bbox.ylo, bbox.xhi, bbox.yhi,
+            fill="#eeeeee", opacity=0.6, stroke="#cccccc",
+        )
+
+    for route in router.last_m1_routes:
+        a = route.subnet.a.point
+        b = route.subnet.b.point
+        color = "#2ca02c" if route.direct else "#ff7f0e"
+        canvas.line(a.x, a.y, b.x, b.y, stroke=color, width=1.6)
+    return canvas.to_string()

@@ -1,0 +1,92 @@
+"""Tests for alignment-opportunity analysis."""
+
+import pytest
+
+from repro.core import OptParams
+from repro.core.analysis import analyze_opportunities
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design, generate_design
+from repro.placement import place_design
+from repro.tech import CellArchitecture, make_tech
+
+
+def pair_design(arch, col0, col1):
+    tech = make_tech(arch)
+    lib = build_library(tech)
+    die = Rect(0, 0, 60 * tech.site_width, 4 * tech.row_height)
+    d = Design("t", tech, die)
+    d.add_instance("u0", lib.macro("INV_X1_RVT"))
+    d.place("u0", column=col0, row=0)
+    d.add_instance("u1", lib.macro("INV_X1_RVT"))
+    d.place("u1", column=col1, row=1)
+    d.add_net("n")
+    d.connect("n", "u0", "ZN")
+    d.connect("n", "u1", "A")
+    return d
+
+
+def test_realized_pair_counted():
+    d = pair_design(CellArchitecture.CLOSED_M1, 10, 11)  # aligned
+    params = OptParams.for_arch(d.tech.arch)
+    report = analyze_opportunities(d, params)
+    assert report.pairs_in_span == 1
+    assert report.realized == 1
+    assert report.reachable == 1
+    assert report.mismatch_histogram[0] == 1
+    assert report.realized_fraction == 1.0
+
+
+def test_reachable_but_not_realized():
+    d = pair_design(CellArchitecture.CLOSED_M1, 10, 14)  # 3 sites off
+    params = OptParams.for_arch(d.tech.arch)
+    report = analyze_opportunities(d, params, budget_sites=2)
+    assert report.pairs_in_span == 1
+    assert report.realized == 0
+    assert report.reachable == 1  # 3 <= 2*2 budget
+    assert report.mismatch_histogram[3] == 1
+
+
+def test_unreachable_with_tiny_budget():
+    d = pair_design(CellArchitecture.CLOSED_M1, 10, 14)
+    params = OptParams.for_arch(d.tech.arch)
+    report = analyze_opportunities(d, params, budget_sites=1)
+    assert report.reachable == 0
+
+
+def test_conventional_has_no_opportunities():
+    d = pair_design(CellArchitecture.CONV_12T, 10, 11)
+    params = OptParams.for_arch(d.tech.arch)
+    report = analyze_opportunities(d, params)
+    assert report.pairs_in_span == 0
+    assert report.realized_fraction == 0.0
+
+
+def test_openm1_overlap_shortfall():
+    d = pair_design(CellArchitecture.OPEN_M1, 10, 10)  # overlapping
+    params = OptParams.for_arch(d.tech.arch)
+    report = analyze_opportunities(d, params)
+    assert report.realized == 1
+    far = pair_design(CellArchitecture.OPEN_M1, 10, 30)
+    report_far = analyze_opportunities(far, params)
+    assert report_far.realized == 0
+    assert report_far.pairs_in_span == 1
+
+
+def test_full_design_headroom_matches_optimizer_direction():
+    """Optimization consumes headroom: realized fraction rises."""
+    from repro.core import ParamSet, vm1_opt
+
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    d = generate_design("aes", tech, lib, scale=0.012, seed=3)
+    place_design(d, seed=1)
+    params = OptParams.for_arch(
+        tech.arch, sequence=(ParamSet.square(1.0, 3, 1),),
+        time_limit=3.0, theta=0.05,
+    )
+    before = analyze_opportunities(d, params)
+    vm1_opt(d, params)
+    after = analyze_opportunities(d, params)
+    assert after.realized > before.realized
+    assert before.reachable >= before.realized

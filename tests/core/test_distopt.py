@@ -1,0 +1,107 @@
+"""Tests for Algorithm 2 (DistOpt)."""
+
+import pytest
+
+from repro.core import OptParams
+from repro.core.distopt import dist_opt
+from repro.core.objective import calculate_objective
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def placed():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=0.015, seed=3)
+    place_design(design, seed=1)
+    return design
+
+
+def run_pass(design, params, **kwargs):
+    defaults = dict(
+        tx=0, ty=0, bw=1250, bh=1080, lx=3, ly=1, allow_flip=False
+    )
+    defaults.update(kwargs)
+    return dist_opt(design, params, **defaults)
+
+
+def test_objective_never_increases(placed):
+    snap = placed.placement_snapshot()
+    try:
+        params = OptParams.for_arch(placed.tech.arch, time_limit=5.0)
+        before = calculate_objective(placed, params)
+        result = run_pass(placed, params)
+        assert result.objective <= before + 1e-6
+        assert result.windows_built > 0
+    finally:
+        placed.restore_placement(snap)
+
+
+def test_legality_preserved(placed):
+    snap = placed.placement_snapshot()
+    try:
+        params = OptParams.for_arch(placed.tech.arch, time_limit=5.0)
+        run_pass(placed, params)
+        assert placed.check_legal() == []
+    finally:
+        placed.restore_placement(snap)
+
+
+def test_alignment_increases_with_alpha(placed):
+    from repro.core.objective import alignment_stats
+
+    snap = placed.placement_snapshot()
+    params = OptParams.for_arch(
+        placed.tech.arch, alpha=5000.0, time_limit=5.0
+    )
+    try:
+        before = alignment_stats(placed, params).num_aligned
+        run_pass(placed, params)
+        after = alignment_stats(placed, params).num_aligned
+        assert after > before
+    finally:
+        placed.restore_placement(snap)
+
+
+def test_flip_only_pass_moves_nothing_off_site(placed):
+    snap = placed.placement_snapshot()
+    try:
+        params = OptParams.for_arch(placed.tech.arch, time_limit=5.0)
+        before_pos = {
+            name: (inst.x, inst.y)
+            for name, inst in placed.instances.items()
+        }
+        run_pass(placed, params, lx=0, ly=0, allow_flip=True)
+        for name, inst in placed.instances.items():
+            assert (inst.x, inst.y) == before_pos[name]
+        assert placed.check_legal() == []
+    finally:
+        placed.restore_placement(snap)
+
+
+def test_modeled_parallel_time_not_more_than_wall(placed):
+    snap = placed.placement_snapshot()
+    try:
+        params = OptParams.for_arch(placed.tech.arch, time_limit=5.0)
+        result = run_pass(placed, params)
+        assert 0 < result.modeled_parallel_seconds <= (
+            result.wall_seconds + 1e-9
+        )
+        assert result.family_count >= 1
+    finally:
+        placed.restore_placement(snap)
+
+
+def test_determinism(placed):
+    params = OptParams.for_arch(placed.tech.arch, time_limit=5.0)
+    snap = placed.placement_snapshot()
+    run_pass(placed, params)
+    first = placed.placement_snapshot()
+    placed.restore_placement(snap)
+    run_pass(placed, params)
+    second = placed.placement_snapshot()
+    placed.restore_placement(snap)
+    assert first == second

@@ -1,0 +1,111 @@
+"""Tests for the global objective (CalculateObj)."""
+
+import pytest
+
+from repro.core import OptParams, alignment_stats, calculate_objective
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.tech import CellArchitecture, make_tech
+
+
+def two_inv_design(arch, col0, row0, col1, row1, flip1=False):
+    tech = make_tech(arch)
+    lib = build_library(tech)
+    die = Rect(0, 0, 60 * tech.site_width, 6 * tech.row_height)
+    d = Design("t", tech, die)
+    d.add_instance("u0", lib.macro("INV_X1_RVT"))
+    d.place("u0", column=col0, row=row0)
+    d.add_instance("u1", lib.macro("INV_X1_RVT"))
+    d.place("u1", column=col1, row=row1, flipped=flip1)
+    d.add_net("n")
+    d.connect("n", "u0", "ZN")
+    d.connect("n", "u1", "A")
+    return d
+
+
+def test_closedm1_alignment_counted():
+    # ZN at col0+2 = 12, A at col1+1 = 12: aligned, adjacent rows.
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 11, 1)
+    params = OptParams.for_arch(d.tech.arch)
+    stats = alignment_stats(d, params)
+    assert stats.num_aligned == 1
+
+
+def test_closedm1_misalignment_not_counted():
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 12, 1)
+    params = OptParams.for_arch(d.tech.arch)
+    assert alignment_stats(d, params).num_aligned == 0
+
+
+def test_closedm1_gamma_limits_vertical_span():
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 11, 3)
+    params = OptParams.for_arch(d.tech.arch)  # gamma = 1
+    assert alignment_stats(d, params).num_aligned == 0
+    wide = OptParams.for_arch(d.tech.arch, gamma=3)
+    assert alignment_stats(d, wide).num_aligned == 1
+
+
+def test_openm1_overlap_counted_with_length():
+    d = two_inv_design(CellArchitecture.OPEN_M1, 10, 0, 10, 1)
+    params = OptParams.for_arch(d.tech.arch)
+    stats = alignment_stats(d, params)
+    assert stats.num_aligned == 1
+    iv0 = d.instances["u0"].pin_x_interval("ZN")
+    iv1 = d.instances["u1"].pin_x_interval("A")
+    assert stats.total_overlap == iv0.overlap_length(iv1) - params.delta
+
+
+def test_openm1_disjoint_not_counted():
+    d = two_inv_design(CellArchitecture.OPEN_M1, 10, 0, 30, 1)
+    params = OptParams.for_arch(d.tech.arch)
+    assert alignment_stats(d, params).num_aligned == 0
+
+
+def test_objective_combines_terms():
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 11, 1)
+    params = OptParams.for_arch(d.tech.arch, alpha=500.0)
+    obj = calculate_objective(d, params)
+    assert obj == pytest.approx(d.total_hpwl() - 500.0)
+
+
+def test_alpha_zero_is_pure_hpwl():
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 11, 1)
+    params = OptParams.for_arch(d.tech.arch, alpha=0.0)
+    assert calculate_objective(d, params) == pytest.approx(
+        d.total_hpwl()
+    )
+
+
+def test_openm1_epsilon_term():
+    d = two_inv_design(CellArchitecture.OPEN_M1, 10, 0, 10, 1)
+    base = OptParams.for_arch(d.tech.arch, alpha=0.0, epsilon=0.0)
+    with_eps = OptParams.for_arch(d.tech.arch, alpha=0.0, epsilon=2.0)
+    stats = alignment_stats(d, base)
+    diff = calculate_objective(d, base) - calculate_objective(d, with_eps)
+    assert diff == pytest.approx(2.0 * stats.total_overlap)
+
+
+def test_high_degree_nets_skipped():
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 11, 1)
+    params = OptParams.for_arch(d.tech.arch, max_net_degree=1)
+    assert alignment_stats(d, params).num_aligned == 0
+
+
+def test_conv12t_has_no_alignment_term():
+    d = two_inv_design(CellArchitecture.CONV_12T, 10, 0, 11, 1)
+    params = OptParams.for_arch(d.tech.arch)
+    assert alignment_stats(d, params).num_aligned == 0
+    assert calculate_objective(d, params) == pytest.approx(
+        d.total_hpwl()
+    )
+
+
+def test_net_subset_evaluation():
+    d = two_inv_design(CellArchitecture.CLOSED_M1, 10, 0, 11, 1)
+    params = OptParams.for_arch(d.tech.arch)
+    full = calculate_objective(d, params)
+    subset = calculate_objective(d, params, nets=[d.nets["n"]])
+    assert full == pytest.approx(subset)  # only one net exists
+    empty = calculate_objective(d, params, nets=[])
+    assert empty == 0.0

@@ -1,0 +1,56 @@
+"""Tests for OptParams and the parameter sequences."""
+
+import pytest
+
+from repro.core.params import (
+    EXPTA3_SEQUENCES,
+    OptParams,
+    ParamSet,
+    default_sequence,
+)
+from repro.tech import CellArchitecture
+
+
+def test_for_arch_paper_alphas():
+    closed = OptParams.for_arch(CellArchitecture.CLOSED_M1)
+    opened = OptParams.for_arch(CellArchitecture.OPEN_M1)
+    assert closed.alpha == 1200.0
+    assert opened.alpha == 1000.0
+    assert closed.gamma == 1
+    assert opened.gamma == 3
+
+
+def test_for_arch_overrides():
+    params = OptParams.for_arch(
+        CellArchitecture.CLOSED_M1, alpha=50.0, theta=0.2, gamma=2
+    )
+    assert params.alpha == 50.0
+    assert params.theta == 0.2
+    assert params.gamma == 2
+
+
+def test_default_sequence_is_expta3_winner():
+    seq = default_sequence()
+    assert seq == (ParamSet.square(20.0, 4, 1),)
+    assert EXPTA3_SEQUENCES[1] == seq
+
+
+def test_expta3_sequences_match_paper():
+    # Sequence 5 is the four-set sequence of §5.2.
+    assert [
+        (u.bw_um, u.lx, u.ly) for u in EXPTA3_SEQUENCES[5]
+    ] == [(10.0, 3, 1), (10.0, 3, 0), (20.0, 3, 1), (20.0, 3, 0)]
+    assert len(EXPTA3_SEQUENCES) == 5
+
+
+def test_square_helper():
+    u = ParamSet.square(12.5, 3, 1)
+    assert u.bw_um == u.bh_um == 12.5
+    assert (u.lx, u.ly) == (3, 1)
+
+
+def test_defaults_are_paper_values():
+    params = OptParams()
+    assert params.beta == 1.0  # §5: "we use beta = 1"
+    assert params.theta == 0.01  # "we use theta = 1%"
+    assert params.net_beta is None

@@ -1,0 +1,90 @@
+"""Tests for Algorithm 1 (VM1Opt)."""
+
+import pytest
+
+from repro.core import OptParams, ParamSet, vm1_opt
+from repro.core.objective import alignment_stats, calculate_objective
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.tech import CellArchitecture, make_tech
+
+
+def small_design(arch=CellArchitecture.CLOSED_M1, scale=0.012, seed=3):
+    tech = make_tech(arch)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=scale, seed=seed)
+    place_design(design, seed=1)
+    return design
+
+
+def fast_params(arch, **overrides):
+    defaults = dict(
+        sequence=(ParamSet.square(1.0, 3, 1),),
+        time_limit=3.0,
+        theta=0.02,
+    )
+    defaults.update(overrides)
+    return OptParams.for_arch(arch, **defaults)
+
+
+def test_improves_objective_and_stays_legal():
+    design = small_design()
+    params = fast_params(design.tech.arch)
+    before = calculate_objective(design, params)
+    result = vm1_opt(design, params)
+    assert result.initial_objective == pytest.approx(before)
+    assert result.final_objective <= before
+    assert result.iterations >= 1
+    assert design.check_legal() == []
+    assert result.improvement >= 0
+
+
+def test_alignment_grows():
+    design = small_design()
+    params = fast_params(design.tech.arch)
+    before = alignment_stats(design, params).num_aligned
+    vm1_opt(design, params)
+    after = alignment_stats(design, params).num_aligned
+    assert after > before
+
+
+def test_sequence_runs_all_parameter_sets():
+    design = small_design()
+    params = fast_params(
+        design.tech.arch,
+        sequence=(
+            ParamSet.square(0.8, 2, 0),
+            ParamSet.square(1.2, 2, 1),
+        ),
+    )
+    result = vm1_opt(design, params)
+    # At least one move+flip pass pair per parameter set.
+    assert len(result.passes) >= 4
+
+
+def test_theta_controls_convergence():
+    """A huge θ stops after the first iteration."""
+    design = small_design()
+    params = fast_params(design.tech.arch, theta=10.0)
+    result = vm1_opt(design, params)
+    assert result.iterations == 1
+
+
+def test_progress_callback_invoked():
+    design = small_design()
+    params = fast_params(design.tech.arch, theta=10.0)
+    labels = []
+    vm1_opt(design, params, progress=lambda label, r: labels.append(label))
+    assert labels == ["move", "flip"]
+
+
+def test_openm1_flow():
+    design = small_design(arch=CellArchitecture.OPEN_M1)
+    params = fast_params(design.tech.arch)
+    before = alignment_stats(design, params)
+    result = vm1_opt(design, params)
+    after = alignment_stats(design, params)
+    assert design.check_legal() == []
+    assert result.final_objective <= result.initial_objective
+    assert after.num_aligned >= before.num_aligned

@@ -1,0 +1,115 @@
+"""Tests for window partitioning and independent-family selection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import independent_families, partition
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+def make_design(cols=100, rows=12):
+    die = Rect(0, 0, cols * TECH.site_width, rows * TECH.row_height)
+    return Design("t", TECH, die)
+
+
+def test_partition_covers_die():
+    d = make_design()
+    windows = partition(d, tx=0, ty=0, bw=900, bh=810)
+    area = sum(w.rect.area for w in windows)
+    assert area == d.die.area
+    for w in windows:
+        assert d.die.contains_rect(w.rect)
+
+
+def test_partition_windows_disjoint():
+    d = make_design()
+    windows = partition(d, tx=450, ty=405, bw=900, bh=810)
+    for i, a in enumerate(windows):
+        for b in windows[i + 1 :]:
+            assert not a.rect.overlaps_open(b.rect)
+
+
+def test_shift_changes_boundaries():
+    d = make_design()
+    w0 = partition(d, tx=0, ty=0, bw=900, bh=810)
+    w1 = partition(d, tx=450, ty=405, bw=900, bh=810)
+    bounds0 = {w.rect.xlo for w in w0}
+    bounds1 = {w.rect.xlo for w in w1}
+    assert bounds0 != bounds1
+    # Shifted grid still tiles the die.
+    assert sum(w.rect.area for w in w1) == d.die.area
+
+
+def test_families_have_disjoint_projections():
+    """The §4.1 guarantee (Figure 3): windows optimized in parallel
+    share no x or y projection."""
+    d = make_design()
+    windows = partition(d, tx=0, ty=0, bw=900, bh=810)
+    families = independent_families(windows)
+    assert sum(len(f) for f in families) == len(windows)
+    for family in families:
+        for i, a in enumerate(family):
+            for b in family[i + 1 :]:
+                # Open-interval disjointness: sharing a single
+                # boundary coordinate is fine (no cell can live in a
+                # zero-width strip).
+                x_disjoint = (
+                    a.rect.xhi <= b.rect.xlo or b.rect.xhi <= a.rect.xlo
+                )
+                y_disjoint = (
+                    a.rect.yhi <= b.rect.ylo or b.rect.yhi <= a.rect.ylo
+                )
+                assert x_disjoint and y_disjoint
+
+
+def test_family_count_near_sqrt():
+    d = make_design(cols=200, rows=24)
+    windows = partition(d, tx=0, ty=0, bw=720, bh=1080)
+    families = independent_families(windows)
+    import math
+
+    assert len(families) <= 2 * math.isqrt(len(windows)) + 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 2000),
+    st.integers(0, 2000),
+    st.integers(300, 3000),
+    st.integers(300, 3000),
+)
+def test_partition_properties(tx, ty, bw, bh):
+    """Property: any offset/size tiles the die without overlap."""
+    d = make_design()
+    windows = partition(d, tx=tx, ty=ty, bw=bw, bh=bh)
+    # Full area coverage within a sliver tolerance: a leading and a
+    # trailing sliver per axis may be dropped (each thinner than one
+    # row/site, so no cell can ever be inside one).
+    area = sum(w.rect.area for w in windows)
+    sliver = 2 * (
+        d.die.width * (TECH.row_height - 1)
+        + d.die.height * (TECH.site_width - 1)
+    )
+    assert area >= d.die.area - sliver
+    for i, a in enumerate(windows):
+        for b in windows[i + 1 :]:
+            assert not a.rect.overlaps_open(b.rect)
+    for family in independent_families(windows):
+        for i, a in enumerate(family):
+            for b in family[i + 1 :]:
+                assert (
+                    a.rect.xhi <= b.rect.xlo or b.rect.xhi <= a.rect.xlo
+                )
+                assert (
+                    a.rect.yhi <= b.rect.ylo or b.rect.yhi <= a.rect.ylo
+                )
+
+
+def test_empty_when_no_windows():
+    assert independent_families([]) == []

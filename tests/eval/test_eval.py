@@ -1,0 +1,68 @@
+"""Smoke tests for the experiment harness (quick preset)."""
+
+import pytest
+
+from repro.eval import (
+    EvalScale,
+    expt_a1_window_sweep,
+    expt_b_table2,
+    render_markdown_table,
+)
+from repro.eval.expt_a1 import knee_configuration
+from repro.tech import CellArchitecture
+
+
+@pytest.fixture(scope="module")
+def quick():
+    return EvalScale.quick()
+
+
+def test_eval_scale_presets():
+    default = EvalScale()
+    paper = EvalScale.paper()
+    quick = EvalScale.quick()
+    assert paper.scale_of("aes") == 1.0
+    assert quick.scale_of("aes") < default.scale_of("aes") < 1.0
+    assert paper.window_um(20.0) == 20.0
+    assert default.window_um(20.0) < 20.0
+    # Tiny paper windows clamp to a sane floor.
+    assert default.window_um(0.1) == 0.5
+
+
+def test_expt_a1_rows(quick):
+    rows = expt_a1_window_sweep(
+        quick,
+        window_sizes_um=(10.0, 20.0),
+        perturbations=((2, 0),),
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row["RWL (um)"] > 0
+        assert row["runtime (s)"] > 0
+        assert row["RWL (norm)"] >= 1.0 - 1e-9
+    knee = knee_configuration(rows)
+    assert knee in rows
+
+
+def test_expt_b_single_design(quick):
+    rows = expt_b_table2(
+        quick,
+        archs=(CellArchitecture.CLOSED_M1,),
+        designs=("aes",),
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["#dM1 final"] >= row["#dM1 init"]
+    assert row["runtime (s)"] > 0
+
+
+def test_render_markdown_table():
+    text = render_markdown_table(
+        [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+    )
+    lines = text.strip().splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2.50 |"
+    assert lines[3] == "| 3 | 4 |"
+    assert render_markdown_table([]) == "(no rows)\n"

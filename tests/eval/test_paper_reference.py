@@ -1,0 +1,52 @@
+"""Tests for the embedded paper reference numbers."""
+
+import pytest
+
+from repro.eval.paper_reference import PAPER_TABLE2, paper_row
+
+
+def test_all_eight_rows_present():
+    assert len(PAPER_TABLE2) == 8
+    for arch in ("closedm1", "openm1"):
+        for design in ("m0", "aes", "jpeg", "vga"):
+            assert (arch, design) in PAPER_TABLE2
+
+
+def test_headline_numbers_match_abstract():
+    """The abstract's headline claims: up to 6.4% RWL and 14.4%
+    via12 reduction (ClosedM1), up to 2.2% / 4.1% (OpenM1)."""
+    closed_rwl = min(
+        paper_row("closedm1", d)["RWL %"]
+        for d in ("m0", "aes", "jpeg", "vga")
+    )
+    closed_via = min(
+        paper_row("closedm1", d)["#via12 %"]
+        for d in ("m0", "aes", "jpeg", "vga")
+    )
+    assert closed_rwl == -6.4
+    assert closed_via == -14.4
+    open_rwl = min(
+        paper_row("openm1", d)["RWL %"]
+        for d in ("m0", "aes", "jpeg", "vga")
+    )
+    open_via = min(
+        paper_row("openm1", d)["#via12 %"]
+        for d in ("m0", "aes", "jpeg", "vga")
+    )
+    assert open_rwl == -2.2
+    assert open_via == -4.1
+
+
+def test_dm1_multipliers():
+    """ClosedM1 #dM1 grows >4x on every design, OpenM1 47-71%."""
+    for design in ("m0", "aes", "jpeg", "vga"):
+        closed = paper_row("closedm1", design)
+        assert closed["#dM1 final"] > 4 * closed["#dM1 init"]
+        opened = paper_row("openm1", design)
+        ratio = opened["#dM1 final"] / opened["#dM1 init"]
+        assert 1.4 < ratio < 1.8
+
+
+def test_unknown_row_raises():
+    with pytest.raises(KeyError):
+        paper_row("closedm1", "nonexistent")

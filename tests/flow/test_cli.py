@@ -1,0 +1,55 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_help_lists_subcommands(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for cmd in ("generate", "flow", "experiment"):
+        assert cmd in out
+
+
+def test_generate_writes_files(tmp_path, capsys):
+    rc = main(
+        [
+            "generate",
+            "--profile", "m0",
+            "--scale", "0.01",
+            "--out", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    files = {p.suffix for p in tmp_path.iterdir()}
+    assert files == {".lef", ".def", ".v"}
+    assert "instances" in capsys.readouterr().out
+
+
+def test_flow_prints_table(tmp_path, capsys):
+    rc = main(
+        [
+            "flow",
+            "--profile", "aes",
+            "--scale", "0.008",
+            "--window-um", "1.0",
+            "--time-limit", "2.0",
+            "--json",
+            "--out", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    row = json.loads(out[: out.index("artifacts")])
+    assert row["design"] == "aes"
+    assert (tmp_path / "post.def").exists()
+    assert (tmp_path / "layout_opt.svg").exists()
+
+
+def test_parser_rejects_unknown_arch():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["flow", "--arch", "nope"])

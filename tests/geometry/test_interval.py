@@ -1,0 +1,80 @@
+"""Tests for repro.geometry.interval."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Interval
+
+
+def ivals(lo=-(10**6), hi=10**6):
+    return st.tuples(
+        st.integers(lo, hi), st.integers(lo, hi)
+    ).map(lambda t: Interval(min(t), max(t)))
+
+
+def test_malformed_rejected():
+    with pytest.raises(ValueError):
+        Interval(5, 4)
+
+
+def test_length_and_center():
+    iv = Interval(10, 30)
+    assert iv.length == 20
+    assert iv.center2 == 40
+
+
+def test_contains():
+    iv = Interval(2, 8)
+    assert iv.contains(2) and iv.contains(8) and iv.contains(5)
+    assert not iv.contains(1) and not iv.contains(9)
+    assert iv.contains_interval(Interval(3, 7))
+    assert not iv.contains_interval(Interval(3, 9))
+
+
+def test_overlap_length_positive_and_negative():
+    assert Interval(0, 10).overlap_length(Interval(5, 20)) == 5
+    # Negative value = gap between disjoint intervals.
+    assert Interval(0, 10).overlap_length(Interval(14, 20)) == -4
+    # Point touch counts as zero overlap.
+    assert Interval(0, 10).overlap_length(Interval(10, 20)) == 0
+
+
+def test_intersection():
+    assert Interval(0, 10).intersection(Interval(5, 20)) == Interval(5, 10)
+    assert Interval(0, 4).intersection(Interval(5, 9)) is None
+
+
+def test_union_span():
+    assert Interval(0, 3).union_span(Interval(10, 12)) == Interval(0, 12)
+
+
+def test_mirror_in_span():
+    span = Interval(0, 100)
+    assert Interval(10, 30).mirrored_in(span) == Interval(70, 90)
+
+
+@given(ivals(), ivals())
+def test_overlap_symmetry(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlap_length(b) == b.overlap_length(a)
+
+
+@given(ivals(), ivals())
+def test_overlap_consistency(a, b):
+    """overlaps() iff overlap_length() >= 0 for closed intervals."""
+    assert a.overlaps(b) == (a.overlap_length(b) >= 0)
+
+
+@given(ivals(-1000, 1000), ivals(-1000, 1000))
+def test_mirror_involution(a, span):
+    """Mirroring twice in the same span is the identity."""
+    assert a.mirrored_in(span).mirrored_in(span) == a
+
+
+@given(ivals(0, 500))
+def test_mirror_preserves_length_and_containment(a):
+    span = Interval(0, 500)
+    m = a.mirrored_in(span)
+    assert m.length == a.length
+    assert span.contains_interval(m)

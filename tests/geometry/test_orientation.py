@@ -1,0 +1,75 @@
+"""Tests for repro.geometry.orientation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, Orientation
+
+
+def test_x_mirror_classification():
+    assert not Orientation.N.is_x_mirrored
+    assert Orientation.FN.is_x_mirrored
+    assert Orientation.S.is_x_mirrored
+    assert not Orientation.FS.is_x_mirrored
+
+
+def test_y_mirror_classification():
+    assert not Orientation.N.is_y_mirrored
+    assert Orientation.FS.is_y_mirrored
+    assert Orientation.S.is_y_mirrored
+    assert not Orientation.FN.is_y_mirrored
+
+
+def test_flip_pairs():
+    assert Orientation.N.flipped() is Orientation.FN
+    assert Orientation.FS.flipped() is Orientation.S
+
+
+@given(st.sampled_from(list(Orientation)))
+def test_flip_involution(orient):
+    assert orient.flipped().flipped() is orient
+
+
+@given(st.sampled_from(list(Orientation)))
+def test_flip_preserves_row_parity(orient):
+    """Flipping mirrors x but must not change y mirroring (a flipped
+    cell stays legal in its row)."""
+    assert orient.flipped().is_y_mirrored == orient.is_y_mirrored
+    assert orient.flipped().is_x_mirrored != orient.is_x_mirrored
+
+
+def test_for_row():
+    assert Orientation.for_row(0) is Orientation.N
+    assert Orientation.for_row(1) is Orientation.FS
+    assert Orientation.for_row(2) is Orientation.N
+    assert Orientation.for_row(0, flipped=True) is Orientation.FN
+    assert Orientation.for_row(1, flipped=True) is Orientation.S
+
+
+def test_transform_x():
+    width = 100
+    assert Orientation.N.transform_x(30, width) == 30
+    assert Orientation.FN.transform_x(30, width) == 70
+
+
+@given(
+    st.sampled_from(list(Orientation)),
+    st.integers(0, 200),
+    st.integers(1, 200),
+)
+def test_transform_x_involution(orient, x, width):
+    x = min(x, width)
+    once = orient.transform_x(x, width)
+    assert 0 <= once <= width
+    assert orient.transform_x(once, width) == x
+
+
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(1, 60))
+def test_transform_interval_matches_point_transform(lo, length, width):
+    hi = lo + length
+    width = max(width, hi)
+    iv = Interval(lo, hi)
+    out = Orientation.FN.transform_x_interval(iv, width)
+    assert out.lo == width - hi
+    assert out.hi == width - lo
+    assert out.length == iv.length

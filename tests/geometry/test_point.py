@@ -1,0 +1,43 @@
+"""Tests for repro.geometry.point."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+coords = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+def test_translated():
+    assert Point(3, 4).translated(10, -2) == Point(13, 2)
+
+
+def test_manhattan_distance():
+    assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+    assert Point(-2, 5).manhattan_distance(Point(1, 1)) == 7
+
+
+def test_as_tuple_and_ordering():
+    assert Point(1, 2).as_tuple() == (1, 2)
+    assert Point(1, 5) < Point(2, 0)
+    assert Point(1, 2) < Point(1, 3)
+
+
+def test_equality_and_hash():
+    assert Point(7, 8) == Point(7, 8)
+    assert len({Point(1, 1), Point(1, 1), Point(1, 2)}) == 2
+
+
+@given(coords, coords, coords, coords)
+def test_distance_symmetry(x1, y1, x2, y2):
+    a, b = Point(x1, y1), Point(x2, y2)
+    assert a.manhattan_distance(b) == b.manhattan_distance(a)
+    assert a.manhattan_distance(a) == 0
+
+
+@given(coords, coords, coords, coords, coords, coords)
+def test_triangle_inequality(x1, y1, x2, y2, x3, y3):
+    a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+    assert a.manhattan_distance(c) <= (
+        a.manhattan_distance(b) + b.manhattan_distance(c)
+    )

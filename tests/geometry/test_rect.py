@@ -1,0 +1,93 @@
+"""Tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, Point, Rect
+
+
+def rects(bound=10**5):
+    c = st.integers(-bound, bound)
+    return st.tuples(c, c, c, c).map(
+        lambda t: Rect(
+            min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]),
+            max(t[1], t[3]),
+        )
+    )
+
+
+def test_malformed_rejected():
+    with pytest.raises(ValueError):
+        Rect(10, 0, 0, 10)
+
+
+def test_basic_properties():
+    r = Rect(0, 0, 10, 4)
+    assert r.width == 10
+    assert r.height == 4
+    assert r.area == 40
+    assert r.half_perimeter == 14
+    assert r.center == Point(5, 2)
+    assert r.x_interval == Interval(0, 10)
+    assert r.y_interval == Interval(0, 4)
+
+
+def test_from_points():
+    assert Rect.from_points(Point(5, 1), Point(2, 9)) == Rect(2, 1, 5, 9)
+
+
+def test_containment():
+    r = Rect(0, 0, 10, 10)
+    assert r.contains_point(Point(0, 0))
+    assert r.contains_point(Point(10, 10))
+    assert not r.contains_point(Point(11, 5))
+    assert r.contains_rect(Rect(1, 1, 9, 9))
+    assert r.contains_rect(r)
+    assert not r.contains_rect(Rect(1, 1, 11, 9))
+
+
+def test_overlap_closed_vs_open():
+    a = Rect(0, 0, 10, 10)
+    touching = Rect(10, 0, 20, 10)
+    assert a.overlaps(touching)  # closed: edge contact counts
+    assert not a.overlaps_open(touching)  # open: abutment is legal
+    assert a.overlaps_open(Rect(9, 9, 20, 20))
+
+
+def test_intersection_and_union():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 20, 20)
+    assert a.intersection(b) == Rect(5, 5, 10, 10)
+    assert a.intersection(Rect(11, 11, 12, 12)) is None
+    assert a.union_span(b) == Rect(0, 0, 20, 20)
+
+
+def test_expand_translate():
+    r = Rect(5, 5, 10, 10)
+    assert r.expanded(2) == Rect(3, 3, 12, 12)
+    assert r.translated(1, -1) == Rect(6, 4, 11, 9)
+
+
+@given(rects(), rects())
+def test_overlap_symmetry(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlaps_open(b) == b.overlaps_open(a)
+
+
+@given(rects(), rects())
+def test_intersection_inside_both(a, b):
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains_rect(inter)
+        assert b.contains_rect(inter)
+        assert a.overlaps(b)
+    else:
+        assert not a.overlaps(b)
+
+
+@given(rects(), rects())
+def test_union_contains_both(a, b):
+    u = a.union_span(b)
+    assert u.contains_rect(a)
+    assert u.contains_rect(b)

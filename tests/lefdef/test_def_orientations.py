@@ -1,0 +1,69 @@
+"""DEF round trip across all four orientations (post-optimization
+placements contain FN/S flips)."""
+
+import pytest
+
+from repro.geometry import Orientation, Rect
+from repro.lefdef import apply_def_placement, parse_def, write_def
+from repro.library import build_library
+from repro.netlist import Design
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture()
+def four_orientations():
+    die = Rect(0, 0, 40 * TECH.site_width, 2 * TECH.row_height)
+    d = Design("t", TECH, die)
+    placements = [
+        ("u_n", 0, 0, False),
+        ("u_fn", 8, 0, True),
+        ("u_fs", 0, 1, False),
+        ("u_s", 8, 1, True),
+    ]
+    for name, col, row, flip in placements:
+        d.add_instance(name, LIB.macro("INV_X1_RVT"))
+        d.place(name, column=col, row=row, flipped=flip)
+    return d
+
+
+def test_all_orientations_roundtrip(four_orientations):
+    d = four_orientations
+    assert d.instances["u_n"].orientation is Orientation.N
+    assert d.instances["u_fn"].orientation is Orientation.FN
+    assert d.instances["u_fs"].orientation is Orientation.FS
+    assert d.instances["u_s"].orientation is Orientation.S
+    data = parse_def(write_def(d))
+    for name, inst in d.instances.items():
+        assert data.components[name].orient == inst.orientation.value
+
+
+def test_apply_restores_orientation(four_orientations):
+    d = four_orientations
+    text = write_def(d)
+    for name in d.instances:
+        d.place(name, column=d.column_of(d.instances[name]),
+                row=d.row_of(d.instances[name]), flipped=False)
+    moved = apply_def_placement(d, text)
+    assert moved == 2  # the two flipped cells changed back
+    assert d.instances["u_fn"].orientation is Orientation.FN
+    assert d.instances["u_s"].orientation is Orientation.S
+    assert d.check_legal() == []
+
+
+def test_pin_positions_survive_roundtrip(four_orientations):
+    d = four_orientations
+    want = {
+        name: inst.pin_position("A")
+        for name, inst in d.instances.items()
+    }
+    text = write_def(d)
+    # Scramble everything, reload.
+    for name in d.instances:
+        d.place(name, column=20, row=0, flipped=False)
+        break
+    apply_def_placement(d, text)
+    for name, inst in d.instances.items():
+        assert inst.pin_position("A") == want[name]

@@ -1,0 +1,66 @@
+"""LEF writer/parser round-trip tests."""
+
+import pytest
+
+from repro.lefdef import parse_lef, write_lef
+from repro.library import build_library
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module", params=list(CellArchitecture))
+def lib(request):
+    return build_library(make_tech(request.param))
+
+
+def test_writes_all_macros(lib):
+    text = write_lef(lib)
+    assert "VERSION 5.7" in text
+    assert "SITE coreSite" in text
+    for name in lib.names:
+        assert f"MACRO {name}" in text
+
+
+def test_roundtrip_geometry(lib):
+    parsed = parse_lef(write_lef(lib))
+    assert set(parsed) == set(lib.names)
+    um = lib.tech.dbu_per_micron
+    for name in lib.names:
+        macro = lib.macro(name)
+        got = parsed[name]
+        assert got.size_x == pytest.approx(macro.width / um)
+        assert got.size_y == pytest.approx(macro.height / um)
+        assert set(got.pins) == set(macro.pins)
+        for pin_name, pin in macro.pins.items():
+            got_pin = got.pins[pin_name]
+            shapes = {
+                (lib.tech.layers[s.layer_index].name, s.rect)
+                for s in pin.shapes
+            }
+            assert set(got_pin.rects) == shapes
+
+
+def test_roundtrip_pin_semantics(lib):
+    parsed = parse_lef(write_lef(lib))
+    inv = parsed[f"INV_X1_RVT"]
+    assert inv.pins["A"].direction == "INPUT"
+    assert inv.pins["ZN"].direction == "OUTPUT"
+    assert inv.pins["VDD"].use == "POWER"
+    assert inv.pins["VSS"].use == "GROUND"
+
+
+def test_pin_layer_matches_architecture(lib):
+    parsed = parse_lef(write_lef(lib))
+    expected_layer = f"M{lib.tech.arch.pin_layer_index}"
+    inv = parsed["INV_X1_RVT"]
+    layers = {layer for layer, _ in inv.pins["A"].rects}
+    assert layers == {expected_layer}
+
+
+def test_parse_tolerates_comments_and_blank_lines():
+    lib_ = build_library(make_tech(CellArchitecture.CLOSED_M1))
+    text = write_lef(lib_)
+    noisy = "# header comment\n\n" + text.replace(
+        "MACRO INV_X1_RVT", "# note\nMACRO INV_X1_RVT"
+    )
+    parsed = parse_lef(noisy)
+    assert "INV_X1_RVT" in parsed

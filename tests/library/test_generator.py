@@ -1,0 +1,111 @@
+"""Tests for repro.library.generator — the Figure 1 geometry contracts."""
+
+import pytest
+
+from repro.library import PinDirection, build_library
+from repro.library.generator import make_macro, signal_pin_columns
+from repro.library.specs import VtClass, spec_by_name
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return {
+        arch: build_library(make_tech(arch)) for arch in CellArchitecture
+    }
+
+
+def test_closedm1_pins_are_vertical_m1_stripes(libs):
+    """ClosedM1 (Figure 1b): 1-D vertical M1 pins on the site grid."""
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    for macro in libs[CellArchitecture.CLOSED_M1].macros.values():
+        for pin in macro.signal_pins:
+            shape = pin.access_shape
+            assert shape.layer_index == 1
+            # Tall, thin: 1-D vertical.
+            assert shape.rect.height > shape.rect.width
+            # Centered on an M1 track inside the cell.
+            column = tech.m1_track_of(pin.x_rel)
+            assert tech.m1_track_x(column) == pin.x_rel
+            assert 0 <= column < macro.width_sites
+
+
+def test_closedm1_power_at_boundaries(libs):
+    for macro in libs[CellArchitecture.CLOSED_M1].macros.values():
+        vdd = macro.pin("VDD")
+        vss = macro.pin("VSS")
+        assert vdd.direction is PinDirection.POWER
+        assert vss.direction is PinDirection.GROUND
+        assert 0 in macro.m1_blocked_columns
+        assert macro.width_sites - 1 in macro.m1_blocked_columns
+
+
+def test_closedm1_pins_block_their_columns(libs):
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    for macro in libs[CellArchitecture.CLOSED_M1].macros.values():
+        for pin in macro.signal_pins:
+            assert tech.m1_track_of(pin.x_rel) in macro.m1_blocked_columns
+
+
+def test_closedm1_distinct_pin_columns(libs):
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    for macro in libs[CellArchitecture.CLOSED_M1].macros.values():
+        columns = [
+            tech.m1_track_of(pin.x_rel) for pin in macro.signal_pins
+        ]
+        assert len(columns) == len(set(columns)), macro.name
+
+
+def test_openm1_pins_are_horizontal_m0_bars(libs):
+    """OpenM1 (Figure 1c): horizontal M0 pins, M1 fully open."""
+    for macro in libs[CellArchitecture.OPEN_M1].macros.values():
+        assert not macro.m1_blocked_columns
+        for pin in macro.signal_pins:
+            shape = pin.access_shape
+            assert shape.layer_index == 0
+            assert shape.rect.width > shape.rect.height
+            # Bar inside the cell outline.
+            assert macro.bbox.contains_rect(shape.rect)
+
+
+def test_openm1_output_bars_are_wide(libs):
+    """Output pins span most of the cell (Figure 1c ZN pin)."""
+    for macro in libs[CellArchitecture.OPEN_M1].macros.values():
+        out_len = macro.output_pins[0].x_interval_rel.length
+        for pin in macro.input_pins:
+            assert out_len >= pin.x_interval_rel.length
+
+
+def test_conv12t_blocks_all_m1(libs):
+    """Conventional cells: M1 rails block inter-row M1 everywhere."""
+    for macro in libs[CellArchitecture.CONV_12T].macros.values():
+        assert macro.m1_blocked_columns == frozenset(
+            range(macro.width_sites)
+        )
+
+
+def test_macro_dimensions(libs):
+    for arch, lib in libs.items():
+        tech = make_tech(arch)
+        for macro in lib.macros.values():
+            assert macro.height == tech.row_height
+            assert macro.width == macro.width_sites * tech.site_width
+
+
+def test_timing_model_vt_scaling():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    spec = spec_by_name("NAND2_X1")
+    lvt = make_macro(tech, spec, VtClass.LVT)
+    hvt = make_macro(tech, spec, VtClass.HVT)
+    assert lvt.timing.intrinsic_ps < hvt.timing.intrinsic_ps
+    assert lvt.timing.leakage_nw > hvt.timing.leakage_nw
+
+
+def test_signal_pin_columns_interior_and_unique():
+    for name in ("INV_X1", "NAND2_X1", "DFF_X1", "MUX2_X1"):
+        spec = spec_by_name(name)
+        columns = signal_pin_columns(spec)
+        values = list(columns.values())
+        assert len(values) == len(set(values))
+        for col in values:
+            assert 1 <= col <= spec.width_sites - 2

@@ -1,0 +1,45 @@
+"""Tests for repro.library.library."""
+
+import pytest
+
+from repro.library import build_library
+from repro.library.specs import DEFAULT_CELL_SPECS
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(make_tech(CellArchitecture.CLOSED_M1))
+
+
+def test_full_triple_vt_coverage(lib):
+    assert len(lib) == len(DEFAULT_CELL_SPECS) * 3
+    assert "NAND2_X1_RVT" in lib
+    assert "NAND2_X1_LVT" in lib
+    assert "NAND2_X1_HVT" in lib
+
+
+def test_lookup_and_contains(lib):
+    macro = lib.macro("INV_X1_RVT")
+    assert macro.spec.function == "INV"
+    assert "NOPE_X1_RVT" not in lib
+    with pytest.raises(KeyError):
+        lib.macro("NOPE_X1_RVT")
+
+
+def test_duplicate_rejected(lib):
+    with pytest.raises(ValueError):
+        lib.add(lib.macro("INV_X1_RVT"))
+
+
+def test_combinational_sequential_split(lib):
+    comb = lib.combinational()
+    seq = lib.sequential()
+    assert len(comb) + len(seq) == len(lib)
+    assert all(not m.spec.is_sequential for m in comb)
+    assert all(m.spec.is_sequential for m in seq)
+    assert seq  # DFFs exist
+
+
+def test_names_sorted(lib):
+    assert lib.names == sorted(lib.names)

@@ -1,0 +1,56 @@
+"""Tests for repro.library.specs."""
+
+import pytest
+
+from repro.library import DEFAULT_CELL_SPECS, VtClass
+from repro.library.specs import spec_by_name
+
+
+def test_vt_scaling_ordering():
+    """LVT is fast and leaky, HVT slow and frugal."""
+    assert VtClass.LVT.delay_scale < VtClass.RVT.delay_scale
+    assert VtClass.RVT.delay_scale < VtClass.HVT.delay_scale
+    assert VtClass.LVT.leakage_scale > VtClass.RVT.leakage_scale
+    assert VtClass.RVT.leakage_scale > VtClass.HVT.leakage_scale
+
+
+def test_spec_names_unique():
+    names = [spec.name for spec in DEFAULT_CELL_SPECS]
+    assert len(names) == len(set(names))
+
+
+def test_pin_budget_fits_width():
+    """Every spec must fit its signal pins in interior columns."""
+    for spec in DEFAULT_CELL_SPECS:
+        assert len(spec.signal_pins) <= spec.width_sites - 2, spec.name
+
+
+def test_sequential_have_clock():
+    for spec in DEFAULT_CELL_SPECS:
+        if spec.is_sequential:
+            assert spec.clock_pin in spec.inputs
+        else:
+            assert spec.clock_pin is None
+
+
+def test_contains_core_functions():
+    functions = {spec.function for spec in DEFAULT_CELL_SPECS}
+    assert {"INV", "BUF", "NAND2", "NOR2", "DFF", "XOR2", "MUX2"} <= (
+        functions
+    )
+
+
+def test_spec_by_name():
+    spec = spec_by_name("NAND2_X1")
+    assert spec.function == "NAND2"
+    assert spec.drive == 1
+    with pytest.raises(KeyError):
+        spec_by_name("NAND9_X9")
+
+
+def test_drive_variants_scale_cap():
+    x1 = spec_by_name("INV_X1")
+    x4 = spec_by_name("INV_X4")
+    assert x4.base_input_cap_ff > x1.base_input_cap_ff
+    assert x4.base_delay_ps < x1.base_delay_ps
+    assert x4.width_sites > x1.width_sites

@@ -1,0 +1,131 @@
+"""Backend correctness: HiGHS vs the pure-Python branch & bound.
+
+The two independent solvers must agree on optimal objective values —
+the strongest cheap check we have that the CPLEX-substitute stack is
+sound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import (
+    BranchBoundBackend,
+    HighsBackend,
+    LinExpr,
+    Model,
+    SolveStatus,
+)
+
+
+def knapsack(values, weights, cap):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constraint(
+        LinExpr.total(w * x for w, x in zip(weights, xs)) <= cap
+    )
+    m.minimize(LinExpr.total(-v * x for v, x in zip(values, xs)))
+    return m
+
+
+def test_trivial_empty_model():
+    m = Model()
+    for backend in (HighsBackend(), BranchBoundBackend()):
+        sol = backend.solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == 0.0
+
+
+def test_constant_objective():
+    m = Model()
+    m.minimize(LinExpr.of(7.5))
+    assert HighsBackend().solve(m).objective == 7.5
+
+
+def test_knapsack_known_optimum():
+    m = knapsack([5, 7, 3, 9], [2, 3, 1, 4], 5)
+    for backend in (HighsBackend(), BranchBoundBackend()):
+        sol = backend.solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-12.0)  # items 1+3 or 0+3
+
+
+def test_infeasible_detected():
+    m = Model()
+    x = m.add_binary("x")
+    m.add_constraint(LinExpr.of(x) >= 0.4)
+    m.add_constraint(LinExpr.of(x) <= 0.6)
+    for backend in (HighsBackend(), BranchBoundBackend()):
+        assert backend.solve(m).status is SolveStatus.INFEASIBLE
+
+
+def test_equality_with_integers():
+    m = Model()
+    x = m.add_var("x", lb=0, ub=10, integer=True)
+    y = m.add_continuous("y", 0, 10)
+    m.add_constraint((2 * x + y).equals(7))
+    m.minimize(y)
+    sol = HighsBackend().solve(m)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.value(x) == 3
+    assert sol.value(y) == pytest.approx(1.0)
+
+
+def test_integer_values_are_integral():
+    m = knapsack([3, 1, 4, 1, 5], [1, 2, 3, 4, 5], 9)
+    sol = HighsBackend().solve(m)
+    for var in m.vars:
+        assert sol.value(var) == int(sol.value(var))
+
+
+def test_solution_helpers():
+    m = Model()
+    x = m.add_binary("x")
+    m.minimize(-1.0 * x)
+    sol = HighsBackend().solve(m)
+    assert sol.is_one(x)
+    assert sol.value_of(2 * x + 1) == pytest.approx(3.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6))
+def test_backends_agree_on_random_models(seed):
+    """Property: both solvers find the same optimal objective on
+    random small mixed binary/continuous models."""
+    rng = np.random.RandomState(seed)
+    n_bin = rng.randint(2, 7)
+    n_cont = rng.randint(0, 3)
+    m = Model(f"rand{seed}")
+    xs = [m.add_binary(f"b{i}") for i in range(n_bin)]
+    xs += [m.add_continuous(f"c{i}", 0, 5) for i in range(n_cont)]
+    for _ in range(rng.randint(1, 5)):
+        coefs = rng.randint(-4, 5, size=len(xs))
+        rhs = float(rng.randint(0, 8))
+        expr = LinExpr.total(
+            int(c) * x for c, x in zip(coefs, xs) if c
+        )
+        m.add_constraint(expr <= rhs)
+    obj_coefs = rng.randint(-5, 6, size=len(xs))
+    m.minimize(
+        LinExpr.total(int(c) * x for c, x in zip(obj_coefs, xs) if c)
+    )
+    s1 = HighsBackend().solve(m)
+    s2 = BranchBoundBackend(time_limit=20).solve(m)
+    assert s1.status == s2.status
+    if s1.status is SolveStatus.OPTIMAL:
+        assert s1.objective == pytest.approx(s2.objective, abs=1e-6)
+
+
+def test_branch_bound_node_limit_returns_incumbent_status():
+    m = knapsack(list(range(1, 13)), list(range(1, 13)), 20)
+    sol = BranchBoundBackend(node_limit=1).solve(m)
+    assert sol.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+
+
+def test_highs_unbounded():
+    m = Model()
+    x = m.add_continuous("x")
+    m.minimize(x)
+    status = HighsBackend().solve(m).status
+    assert status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)

@@ -1,0 +1,93 @@
+"""Tests for the MILP modeling layer."""
+
+from repro.milp import LinExpr, Model, Sense
+
+
+def test_var_creation_kinds():
+    m = Model()
+    b = m.add_binary("b")
+    c = m.add_continuous("c", -5, 5)
+    assert b.is_integer and b.lb == 0 and b.ub == 1
+    assert not c.is_integer and c.lb == -5 and c.ub == 5
+    assert m.num_binaries == 1
+
+
+def test_expr_arithmetic():
+    m = Model()
+    x, y = m.add_continuous("x"), m.add_continuous("y")
+    e = 2 * x + 3 * y + 4 - x
+    assert e.coefs[x.index] == 1.0
+    assert e.coefs[y.index] == 3.0
+    assert e.const == 4.0
+    e2 = (x - y) * 2.0
+    assert e2.coefs[x.index] == 2.0 and e2.coefs[y.index] == -2.0
+    e3 = 10 - x
+    assert e3.coefs[x.index] == -1.0 and e3.const == 10.0
+    e4 = -(x + 1)
+    assert e4.coefs[x.index] == -1.0 and e4.const == -1.0
+
+
+def test_total():
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(4)]
+    e = LinExpr.total(2 * x for x in xs)
+    assert all(e.coefs[x.index] == 2.0 for x in xs)
+
+
+def test_arithmetic_is_pure():
+    m = Model()
+    x = m.add_continuous("x")
+    base = x + 1
+    _derived = base + 5
+    assert base.const == 1.0  # base untouched
+
+
+def test_constraint_folding():
+    m = Model()
+    x, y = m.add_continuous("x"), m.add_continuous("y")
+    con = (2 * x + 3 <= y + 10)
+    assert con.sense is Sense.LE
+    assert con.coefs[x.index] == 2.0
+    assert con.coefs[y.index] == -1.0
+    assert con.rhs == 7.0
+
+
+def test_equality_constraint():
+    m = Model()
+    x = m.add_continuous("x")
+    con = (x + 2).equals(5)
+    assert con.sense is Sense.EQ
+    assert con.rhs == 3.0
+
+
+def test_zero_coefficients_dropped():
+    m = Model()
+    x, y = m.add_continuous("x"), m.add_continuous("y")
+    con = (x + y - y <= 3)
+    assert y.index not in con.coefs
+
+
+def test_expr_value():
+    m = Model()
+    x, y = m.add_continuous("x"), m.add_continuous("y")
+    e = 2 * x + 3 * y + 1
+    assert e.value({x.index: 2.0, y.index: 1.0}) == 8.0
+    assert e.value({}) == 1.0  # absent variables read as 0
+
+
+def test_var_comparison_builds_constraints():
+    m = Model()
+    x = m.add_continuous("x")
+    le = x <= 4
+    ge = x >= 1
+    assert le.sense is Sense.LE and le.rhs == 4.0
+    assert ge.sense is Sense.GE and ge.rhs == 1.0
+
+
+def test_model_stats():
+    m = Model("demo")
+    m.add_binary("b")
+    m.add_continuous("c")
+    m.add_constraint(m.vars[0] + m.vars[1] <= 1)
+    text = m.stats()
+    assert "demo" in text and "2 vars" in text and "1 constraints" in text

@@ -1,0 +1,53 @@
+"""Tests for Solution/SolveStatus helpers."""
+
+import math
+
+import pytest
+
+from repro.milp import LinExpr, Model, Solution, SolveStatus
+
+
+def test_status_has_solution():
+    assert SolveStatus.OPTIMAL.has_solution
+    assert SolveStatus.FEASIBLE.has_solution
+    assert not SolveStatus.INFEASIBLE.has_solution
+    assert not SolveStatus.UNBOUNDED.has_solution
+    assert not SolveStatus.ERROR.has_solution
+
+
+def test_value_defaults_to_zero():
+    m = Model()
+    x = m.add_binary("x")
+    sol = Solution(status=SolveStatus.OPTIMAL)
+    assert sol.value(x) == 0.0
+    assert not sol.is_one(x)
+
+
+def test_is_one_tolerates_roundoff():
+    m = Model()
+    x = m.add_binary("x")
+    sol = Solution(
+        status=SolveStatus.OPTIMAL, values={x.index: 0.999999}
+    )
+    assert sol.is_one(x)
+    sol_low = Solution(
+        status=SolveStatus.OPTIMAL, values={x.index: 0.4999}
+    )
+    assert not sol_low.is_one(x)
+
+
+def test_value_of_expression():
+    m = Model()
+    x = m.add_continuous("x")
+    y = m.add_continuous("y")
+    sol = Solution(
+        status=SolveStatus.OPTIMAL,
+        values={x.index: 2.0, y.index: 3.0},
+    )
+    assert sol.value_of(2 * x + y + 1) == pytest.approx(8.0)
+    assert sol.value_of(x) == 2.0
+
+
+def test_default_objective_is_nan():
+    sol = Solution(status=SolveStatus.INFEASIBLE)
+    assert math.isnan(sol.objective)

@@ -1,0 +1,202 @@
+"""Tests for repro.netlist.design — the layout database."""
+
+import pytest
+
+from repro.geometry import Orientation, Point, Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture()
+def small():
+    """Two-row, 40-column empty design plus library handles."""
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    die = Rect(0, 0, 40 * tech.site_width, 2 * tech.row_height)
+    design = Design("small", tech, die)
+    return design, lib
+
+
+def test_misaligned_die_rejected():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    with pytest.raises(ValueError):
+        Design("bad", tech, Rect(7, 0, 367, 270))
+
+
+def test_add_and_connect(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_instance("u2", lib.macro("INV_X1_RVT"))
+    design.add_net("n1")
+    design.connect("n1", "u1", "ZN")
+    design.connect("n1", "u2", "A")
+    net = design.nets["n1"]
+    assert net.degree == 2
+    assert design.instances["u1"].net_of_pin["ZN"] == "n1"
+    assert design.driver_of(net).instance == "u1"
+
+
+def test_duplicate_names_rejected(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    with pytest.raises(ValueError):
+        design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_net("n1")
+    with pytest.raises(ValueError):
+        design.add_net("n1")
+
+
+def test_double_connect_rejected(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_net("n1")
+    design.add_net("n2")
+    design.connect("n1", "u1", "A")
+    with pytest.raises(ValueError):
+        design.connect("n2", "u1", "A")
+    with pytest.raises(KeyError):
+        design.connect("n2", "u1", "NOPE")
+
+
+def test_place_and_rows(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=5, row=1)
+    inst = design.instances["u1"]
+    assert inst.x == 5 * design.tech.site_width
+    assert inst.y == design.tech.row_height
+    assert inst.orientation is Orientation.FS  # odd row
+    assert design.row_of(inst) == 1
+    assert design.column_of(inst) == 5
+
+
+def test_pin_position_respects_flip(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=0, row=0, flipped=False)
+    pos_n = design.instances["u1"].pin_position("A")
+    design.place("u1", column=0, row=0, flipped=True)
+    pos_f = design.instances["u1"].pin_position("A")
+    width = design.instances["u1"].width
+    assert pos_f.x == width - pos_n.x
+    assert pos_f.y == pos_n.y  # flip never moves pins vertically
+
+
+def test_pin_x_interval_respects_flip():
+    tech = make_tech(CellArchitecture.OPEN_M1)
+    lib = build_library(tech)
+    die = Rect(0, 0, 40 * tech.site_width, 2 * tech.row_height)
+    design = Design("o", tech, die)
+    design.add_instance("u1", lib.macro("NAND2_X1_RVT"))
+    design.place("u1", column=2, row=0, flipped=False)
+    iv_n = design.instances["u1"].pin_x_interval("A1")
+    design.place("u1", column=2, row=0, flipped=True)
+    iv_f = design.instances["u1"].pin_x_interval("A1")
+    assert iv_f.length == iv_n.length
+    assert iv_f != iv_n  # A1 is off-center, so the flip moves it
+
+
+def test_hpwl(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_instance("u2", lib.macro("INV_X1_RVT"))
+    design.add_net("n1")
+    design.connect("n1", "u1", "ZN")
+    design.connect("n1", "u2", "A")
+    design.place("u1", column=0, row=0)
+    design.place("u2", column=10, row=1)
+    p1 = design.instances["u1"].pin_position("ZN")
+    p2 = design.instances["u2"].pin_position("A")
+    expected = abs(p1.x - p2.x) + abs(p1.y - p2.y)
+    assert design.net_hpwl(design.nets["n1"]) == expected
+    assert design.total_hpwl() == expected
+
+
+def test_hpwl_includes_pads(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_net("n1")
+    design.connect("n1", "u1", "ZN")
+    design.nets["n1"].pads.append(Point(0, 0))
+    design.place("u1", column=10, row=0)
+    assert design.net_hpwl(design.nets["n1"]) > 0
+
+
+def test_check_legal_detects_overlap(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_instance("u2", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=0, row=0)
+    design.place("u2", column=2, row=0)  # INV is 4 sites wide
+    errors = design.check_legal()
+    assert any("overlap" in e for e in errors)
+    design.place("u2", column=4, row=0)  # abutting is legal
+    assert design.check_legal() == []
+
+
+def test_check_legal_detects_offgrid_and_orientation(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=0, row=0)
+    design.instances["u1"].x += 7
+    assert any("off site grid" in e for e in design.check_legal())
+    design.place("u1", column=0, row=1)
+    design.instances["u1"].orientation = Orientation.N  # wrong parity
+    assert any("orientation" in e for e in design.check_legal())
+
+
+def test_check_legal_detects_outside_die(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=38, row=0)  # 38+4 > 40 columns
+    assert any("outside die" in e for e in design.check_legal())
+
+
+def test_snapshot_restore(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=3, row=0)
+    snap = design.placement_snapshot()
+    design.place("u1", column=9, row=1, flipped=True)
+    design.restore_placement(snap)
+    inst = design.instances["u1"]
+    assert design.column_of(inst) == 3
+    assert inst.orientation is Orientation.N
+
+
+def test_m1_blocked_columns_abs(small):
+    design, lib = small
+    macro = lib.macro("INV_X1_RVT")
+    design.add_instance("u1", macro)
+    design.place("u1", column=10, row=0)
+    cols = design.instances["u1"].m1_blocked_columns_abs(design.tech)
+    assert cols == sorted(10 + c for c in macro.m1_blocked_columns)
+    # Flipping mirrors the blocked columns within the cell.
+    design.place("u1", column=10, row=0, flipped=True)
+    flipped = design.instances["u1"].m1_blocked_columns_abs(design.tech)
+    w = macro.width_sites
+    assert flipped == sorted(
+        10 + (w - 1 - c) for c in macro.m1_blocked_columns
+    )
+
+
+def test_utilization_and_area(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=0, row=0)
+    inst = design.instances["u1"]
+    assert design.total_cell_area() == inst.width * inst.height
+    assert 0 < design.utilization() < 1
+
+
+def test_instances_in_region(small):
+    design, lib = small
+    design.add_instance("u1", lib.macro("INV_X1_RVT"))
+    design.add_instance("u2", lib.macro("INV_X1_RVT"))
+    design.place("u1", column=0, row=0)
+    design.place("u2", column=20, row=1)
+    region = Rect(0, 0, 10 * design.tech.site_width,
+                  design.tech.row_height)
+    names = [i.name for i in design.instances_in(region)]
+    assert names == ["u1"]

@@ -1,0 +1,163 @@
+"""Tests for repro.netlist.generator — synthetic benchmarks."""
+
+import pytest
+
+from repro.library import build_library
+from repro.netlist import DESIGN_PROFILES, generate_design
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def env():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    return tech, build_library(tech)
+
+
+@pytest.fixture(scope="module")
+def small_design(env):
+    tech, lib = env
+    return generate_design("aes", tech, lib, scale=0.03, seed=7)
+
+
+def test_paper_instance_counts():
+    """Profiles carry the Table 2 instance counts at scale 1."""
+    assert DESIGN_PROFILES["m0"].instances == 9922
+    assert DESIGN_PROFILES["aes"].instances == 12345
+    assert DESIGN_PROFILES["jpeg"].instances == 54570
+    assert DESIGN_PROFILES["vga"].instances == 68606
+
+
+def test_scale_controls_size(env):
+    tech, lib = env
+    d = generate_design("m0", tech, lib, scale=0.02, seed=1)
+    assert abs(len(d.instances) - 0.02 * 9922) < 0.02 * 9922 * 0.15
+
+
+def test_determinism(env):
+    tech, lib = env
+    d1 = generate_design("aes", tech, lib, scale=0.02, seed=5)
+    d2 = generate_design("aes", tech, lib, scale=0.02, seed=5)
+    assert sorted(d1.instances) == sorted(d2.instances)
+    for name in d1.instances:
+        assert d1.instances[name].macro.name == d2.instances[name].macro.name
+    assert sorted(d1.nets) == sorted(d2.nets)
+    for name in d1.nets:
+        assert d1.nets[name].pins == d2.nets[name].pins
+
+
+def test_seed_changes_netlist(env):
+    tech, lib = env
+    d1 = generate_design("aes", tech, lib, scale=0.02, seed=5)
+    d2 = generate_design("aes", tech, lib, scale=0.02, seed=6)
+    same = all(
+        d1.nets[n].pins == d2.nets[n].pins
+        for n in d1.nets
+        if n in d2.nets
+    )
+    assert not same
+
+
+def test_every_input_driven_once(small_design):
+    d = small_design
+    for name, inst in d.instances.items():
+        for pin in inst.macro.signal_pins:
+            if pin.direction.value == "INPUT":
+                assert pin.name in inst.net_of_pin, (name, pin.name)
+
+
+def test_single_driver_per_net(small_design):
+    d = small_design
+    for net in d.nets.values():
+        drivers = [
+            ref
+            for ref in net.pins
+            if d.instances[ref.instance]
+            .macro.pin(ref.pin)
+            .direction.value
+            == "OUTPUT"
+        ]
+        assert len(drivers) <= 1, net.name
+
+
+def test_combinational_acyclic(small_design):
+    """The generator promises acyclic combinational logic (STA needs
+    it).  Kahn's algorithm must consume every combinational gate."""
+    d = small_design
+    indegree = {}
+    sinks = {}
+    for name, inst in d.instances.items():
+        if inst.macro.spec.is_sequential:
+            continue
+        deg = 0
+        for pin in inst.macro.input_pins:
+            net_name = inst.net_of_pin.get(pin.name)
+            if net_name is None:
+                continue
+            driver = d.driver_of(d.nets[net_name])
+            if driver and not d.instances[
+                driver.instance
+            ].macro.spec.is_sequential:
+                deg += 1
+                sinks.setdefault(driver.instance, []).append(name)
+        indegree[name] = deg
+    queue = [n for n, deg in indegree.items() if deg == 0]
+    seen = 0
+    while queue:
+        n = queue.pop()
+        seen += 1
+        for s in sinks.get(n, []):
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                queue.append(s)
+    assert seen == len(indegree)
+
+
+def test_clock_tree_wiring(small_design):
+    d = small_design
+    assert "clk_root" in d.nets
+    flops = [
+        inst
+        for inst in d.instances.values()
+        if inst.macro.spec.is_sequential
+    ]
+    assert flops
+    for flop in flops:
+        net = flop.net_of_pin[flop.macro.spec.clock_pin]
+        assert net.startswith("clk_leaf")
+
+
+def test_io_pads_on_boundary(small_design):
+    d = small_design
+    die = d.die
+    pad_count = 0
+    for net in d.nets.values():
+        for pad in net.pads:
+            pad_count += 1
+            on_edge = (
+                pad.x in (die.xlo, die.xhi) or pad.y in (die.ylo, die.yhi)
+            )
+            assert on_edge
+    assert pad_count > 0
+
+
+def test_die_sized_for_utilization(env):
+    tech, lib = env
+    d = generate_design("aes", tech, lib, scale=0.05, seed=1,
+                        utilization=0.6)
+    assert abs(d.utilization() - 0.6) < 0.05
+
+
+def test_profile_mix_differs(env):
+    tech, lib = env
+    aes = generate_design("aes", tech, lib, scale=0.05, seed=1)
+    vga = generate_design("vga", tech, lib, scale=0.01, seed=1)
+
+    def xor_frac(d):
+        n = sum(
+            1
+            for i in d.instances.values()
+            if i.macro.spec.function in ("XOR2", "XNOR2")
+        )
+        return n / len(d.instances)
+
+    assert xor_frac(aes) > xor_frac(vga)

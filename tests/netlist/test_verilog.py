@@ -1,0 +1,87 @@
+"""Verilog writer/parser round-trip tests."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design, generate_design
+from repro.netlist.verilog import (
+    design_from_verilog,
+    parse_verilog,
+    write_verilog,
+)
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate_design("aes", TECH, LIB, scale=0.01, seed=4)
+
+
+def test_roundtrip_structure(design):
+    module = parse_verilog(write_verilog(design))
+    assert module.name == design.name
+    assert set(module.instances) == set(design.instances)
+    for inst_name, (macro, pins) in module.instances.items():
+        inst = design.instances[inst_name]
+        assert macro == inst.macro.name
+        assert pins == inst.net_of_pin
+
+
+def test_ports_split_by_direction(design):
+    module = parse_verilog(write_verilog(design))
+    pad_nets = {
+        name for name, net in design.nets.items() if net.pads
+    }
+    assert set(module.inputs) | set(module.outputs) == pad_nets
+    # clk_root is pad-driven with no cell driver: an input.
+    if "clk_root" in pad_nets:
+        assert "clk_root" in module.inputs
+
+
+def test_design_from_verilog_rebuilds(design):
+    module = parse_verilog(write_verilog(design))
+
+    def factory(name):
+        die = Rect(0, 0, design.die.xhi, design.die.yhi)
+        return Design(name, TECH, die)
+
+    factory.library = LIB
+    rebuilt = design_from_verilog(module, factory)
+    assert set(rebuilt.instances) == set(design.instances)
+    for name, net in design.nets.items():
+        want = {(r.instance, r.pin) for r in net.pins}
+        got = {(r.instance, r.pin) for r in rebuilt.nets[name].pins}
+        assert got == want
+
+
+def test_escaped_identifiers():
+    die = Rect(0, 0, 40 * TECH.site_width, 2 * TECH.row_height)
+    d = Design("top", TECH, die)
+    d.add_instance("u/weird[0]", LIB.macro("INV_X1_RVT"))
+    d.add_net("net.with:chars")
+    d.connect("net.with:chars", "u/weird[0]", "A")
+    module = parse_verilog(write_verilog(d))
+    assert "u/weird[0]" in module.instances
+    assert (
+        module.instances["u/weird[0]"][1]["A"] == "net.with:chars"
+    )
+
+
+def test_comments_stripped():
+    text = (
+        "// line comment\nmodule m (a);\n input a;\n"
+        "/* block\ncomment */\n"
+        " INV_X1_RVT u0 (.A(a), .ZN(b));\nendmodule\n"
+    )
+    module = parse_verilog(text)
+    assert module.name == "m"
+    assert module.instances["u0"][0] == "INV_X1_RVT"
+
+
+def test_parse_error_is_informative():
+    with pytest.raises(ValueError, match="expected"):
+        parse_verilog("module m (a) input a; endmodule")

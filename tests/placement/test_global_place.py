@@ -1,0 +1,83 @@
+"""Tests for the global placer."""
+
+import numpy as np
+import pytest
+
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import global_place
+from repro.placement.global_place import _quantile_spread
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def placed():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=0.03, seed=2)
+    global_place(design, seed=1)
+    return design
+
+
+def test_all_instances_inside_die(placed):
+    die = placed.die
+    for inst in placed.instances.values():
+        assert die.xlo <= inst.x <= die.xhi
+        assert die.ylo <= inst.y <= die.yhi
+
+
+def test_spreading_roughly_uniform(placed):
+    """No quadrant should hold a grossly disproportionate area share."""
+    die = placed.die
+    mid_x = (die.xlo + die.xhi) / 2
+    mid_y = (die.ylo + die.yhi) / 2
+    quadrants = [0, 0, 0, 0]
+    for inst in placed.instances.values():
+        idx = (inst.x >= mid_x) * 2 + (inst.y >= mid_y)
+        quadrants[idx] += inst.width * inst.height
+    total = sum(quadrants)
+    for q in quadrants:
+        assert 0.15 < q / total < 0.35
+
+
+def test_connected_cells_are_near(placed):
+    """Average 2-pin net span must beat the random-pair expectation."""
+    spans = []
+    for net in placed.nets.values():
+        if net.degree == 2 and len(net.pins) == 2:
+            a = placed.instances[net.pins[0].instance]
+            b = placed.instances[net.pins[1].instance]
+            spans.append(abs(a.x - b.x) + abs(a.y - b.y))
+    random_expectation = (placed.die.width + placed.die.height) / 3
+    assert np.mean(spans) < 0.6 * random_expectation
+
+
+def test_determinism():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    d1 = generate_design("aes", tech, lib, scale=0.02, seed=2)
+    d2 = generate_design("aes", tech, lib, scale=0.02, seed=2)
+    global_place(d1, seed=9)
+    global_place(d2, seed=9)
+    for name in d1.instances:
+        assert d1.instances[name].x == d2.instances[name].x
+        assert d1.instances[name].y == d2.instances[name].y
+
+
+def test_quantile_spread_uniform_and_monotone():
+    rng = np.random.RandomState(0)
+    coords = rng.normal(500, 50, size=200)  # collapsed blob
+    areas = np.ones(200)
+    spread = _quantile_spread(coords, areas, 0, 1000)
+    order_in = np.argsort(coords)
+    assert (np.diff(spread[order_in]) >= 0).all()  # order preserved
+    hist, _ = np.histogram(spread, bins=4, range=(0, 1000))
+    assert hist.max() - hist.min() <= 2  # near-uniform fill
+
+
+def test_quantile_spread_weights_by_area():
+    coords = np.array([0.0, 1.0, 2.0])
+    areas = np.array([1.0, 1.0, 98.0])
+    spread = _quantile_spread(coords, areas, 0, 1000)
+    # The heavy cell's area midpoint sits at (2+98/2)/100 of the span.
+    assert spread[2] == pytest.approx(510.0, abs=1.0)

@@ -1,0 +1,116 @@
+"""Tests for the legalizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design, generate_design
+from repro.placement import global_place, legalize
+from repro.placement.legalize import LegalizationError, _Row
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+def make_design(n_cols, n_rows):
+    die = Rect(0, 0, n_cols * TECH.site_width, n_rows * TECH.row_height)
+    return Design("t", TECH, die)
+
+
+def test_row_interval_bookkeeping():
+    row = _Row(0, [(0, 20)])
+    assert row.best_position(5, 4) == 5
+    row.occupy(5, 4)
+    assert row.free == [(0, 5), (9, 20)]
+    # Displacement ties (col 1 vs col 9, both |dx|=4) go to the
+    # leftmost interval; an asymmetric target resolves to the right.
+    assert row.best_position(5, 4) in (1, 9)
+    assert row.best_position(6, 4) == 9
+    row.occupy(0, 5)
+    row.occupy(9, 11)
+    assert row.free == []
+    assert row.best_position(0, 1) is None
+
+
+def test_occupy_outside_free_raises():
+    row = _Row(0, [(0, 10)])
+    row.occupy(0, 10)
+    with pytest.raises(LegalizationError):
+        row.occupy(0, 1)
+
+
+def test_legalize_simple_collision():
+    d = make_design(40, 2)
+    d.add_instance("a", LIB.macro("INV_X1_RVT"))
+    d.add_instance("b", LIB.macro("INV_X1_RVT"))
+    for inst in d.instances.values():
+        inst.x, inst.y = 100, 10  # both on the same spot
+    legalize(d)
+    assert d.check_legal() == []
+
+
+def test_legalize_respects_fixed_instances():
+    d = make_design(12, 1)
+    d.add_instance("fix", LIB.macro("INV_X1_RVT"))
+    d.place("fix", column=4, row=0)
+    d.instances["fix"].fixed = True
+    d.add_instance("mov", LIB.macro("INV_X1_RVT"))
+    d.instances["mov"].x, d.instances["mov"].y = 4 * 36, 0
+    legalize(d)
+    assert d.check_legal() == []
+    assert d.column_of(d.instances["fix"]) == 4  # untouched
+    assert d.column_of(d.instances["mov"]) in (0, 8)
+
+
+def test_legalize_overflow_raises():
+    d = make_design(4, 1)  # room for exactly one INV (4 sites)
+    d.add_instance("a", LIB.macro("INV_X1_RVT"))
+    d.add_instance("b", LIB.macro("INV_X1_RVT"))
+    with pytest.raises(LegalizationError):
+        legalize(d)
+
+
+def test_legalize_prefers_near_target():
+    d = make_design(40, 4)
+    d.add_instance("a", LIB.macro("INV_X1_RVT"))
+    d.instances["a"].x = 20 * 36
+    d.instances["a"].y = 2 * 270 + 10
+    legalize(d)
+    inst = d.instances["a"]
+    assert d.row_of(inst) == 2
+    assert abs(d.column_of(inst) - 20) <= 1
+
+
+def test_full_pipeline_is_legal_at_high_utilization():
+    design = generate_design(
+        "aes", TECH, LIB, scale=0.03, seed=4, utilization=0.9
+    )
+    global_place(design, seed=1)
+    legalize(design)
+    assert design.check_legal() == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_legalize_random_blobs(seed):
+    """Property: any in-die blob of cells (<= capacity) legalizes."""
+    import numpy as np
+
+    rng = np.random.RandomState(seed)
+    d = make_design(30, 3)
+    macros = [LIB.macro("INV_X1_RVT"), LIB.macro("NAND2_X1_RVT")]
+    used = 0
+    i = 0
+    while used < 60:  # 90 sites capacity, stay below
+        macro = macros[rng.randint(len(macros))]
+        d.add_instance(f"u{i}", macro)
+        inst = d.instances[f"u{i}"]
+        inst.x = int(rng.randint(0, d.die.xhi))
+        inst.y = int(rng.randint(0, d.die.yhi))
+        used += macro.width_sites
+        i += 1
+    legalize(d)
+    assert d.check_legal() == []

@@ -1,0 +1,133 @@
+"""Tests for the gcell grid and its search."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.routing.gcell import GCellGrid, GridConfig
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture()
+def grid():
+    die = Rect(0, 0, 150 * TECH.site_width, 20 * TECH.row_height)
+    design = Design("t", TECH, die)
+    return GCellGrid(design, GridConfig())
+
+
+def test_grid_dimensions(grid):
+    assert grid.nx == 10  # 150 sites / 15 per gcell
+    assert grid.ny == 10  # 20 rows / 2 per gcell
+    assert grid.cap_h > 0 and grid.cap_v > 0
+
+
+def test_m1_capacity_bonus_by_architecture():
+    die = Rect(0, 0, 150 * 36, 20 * 270)
+    closed = GCellGrid(Design("c", TECH, die), GridConfig())
+    open_tech = make_tech(CellArchitecture.OPEN_M1)
+    opened = GCellGrid(Design("o", open_tech, die), GridConfig())
+    conv_tech = make_tech(CellArchitecture.CONV_12T)
+    conv_die = Rect(0, 0, 150 * 36, 10 * 432)
+    conv = GCellGrid(Design("v", conv_tech, conv_die), GridConfig())
+    # OpenM1 frees the most M1 verticals, ClosedM1 some, conv none.
+    assert opened.m1_vertical_share > closed.m1_vertical_share > 0
+    assert opened.cap_v >= closed.cap_v > conv.cap_v
+
+
+def test_conv12t_has_no_m1_share():
+    conv = make_tech(CellArchitecture.CONV_12T)
+    die = Rect(0, 0, 150 * 36, 10 * 432)
+    grid = GCellGrid(Design("v", conv, die), GridConfig())
+    assert grid.m1_vertical_share == 0.0
+
+
+def test_cell_of_clamps(grid):
+    assert grid.cell_of(Point(-50, -50)) == (0, 0)
+    assert grid.cell_of(Point(10**7, 10**7)) == (grid.nx - 1, grid.ny - 1)
+
+
+def test_l_paths():
+    paths = GCellGrid.l_paths((0, 0), (3, 2))
+    assert len(paths) == 2
+    for path in paths:
+        assert path[0] == (0, 0) and path[-1] == (3, 2)
+        assert len(path) == 6  # 3 + 2 steps + start
+        for (x0, y0), (x1, y1) in zip(path, path[1:]):
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+
+def test_l_paths_straight_and_trivial():
+    assert GCellGrid.l_paths((2, 2), (2, 2)) == [[(2, 2)]]
+    straight = GCellGrid.l_paths((0, 1), (3, 1))
+    assert straight == [[(0, 1), (1, 1), (2, 1), (3, 1)]]
+
+
+def test_route_commits_usage(grid):
+    a = grid.center(0, 0)
+    b = grid.center(4, 0)
+    grid.route_subnet(a, b)
+    assert grid.usage_h[0, :4].sum() == 4
+
+
+def test_unroute_reverses(grid):
+    a, b = grid.center(0, 0), grid.center(3, 3)
+    path = grid.route_subnet(a, b)
+    grid.unroute(path)
+    assert grid.usage_h.sum() == 0
+    assert grid.usage_v.sum() == 0
+
+
+def test_congestion_diverts_routes(grid):
+    """After saturating the straight corridor, new routes detour."""
+    a, b = grid.center(0, 5), grid.center(9, 5)
+    for _ in range(grid.cap_h + 2):
+        grid.route_subnet(a, b)
+    detoured = grid.route_subnet(a, b)
+    uses_other_rows = any(y != 5 for _, y in detoured)
+    assert uses_other_rows or grid.overflow_edges() > 0
+
+
+def test_astar_finds_shortest_when_clear(grid):
+    path = grid.astar((1, 1), (6, 4))
+    assert path[0] == (1, 1) and path[-1] == (6, 4)
+    assert len(path) == 1 + 5 + 3
+
+
+def test_overflow_count(grid):
+    a, b = grid.center(0, 0), grid.center(1, 0)
+    for _ in range(grid.cap_h + 3):
+        path = [(0, 0), (1, 0)]
+        grid._apply(path, +1)
+    assert grid.overflow_edges() == 3
+
+
+def test_path_length_ideal_when_direct(grid):
+    a = Point(100, 100)
+    b = Point(3000, 700)
+    path = grid.route_subnet(a, b)
+    assert grid.path_length_dbu(path, a, b) == a.manhattan_distance(b)
+
+
+def test_path_length_adds_detour(grid):
+    a, b = grid.center(0, 0), grid.center(2, 0)
+    detour = [(0, 0), (0, 1), (1, 1), (2, 1), (2, 0)]
+    expected = a.manhattan_distance(b) + 2 * grid.pitch_y
+    assert grid.path_length_dbu(detour, a, b) == expected
+
+
+def test_vertical_length(grid):
+    path = [(0, 0), (0, 1), (1, 1), (1, 2)]
+    assert grid.vertical_length_dbu(path) == 2 * grid.pitch_y
+
+
+def test_history_accumulates(grid):
+    path = [(0, 0), (1, 0)]
+    for _ in range(grid.cap_h + 2):
+        grid._apply(path, +1)
+    grid.add_history()
+    assert grid.history_h[0, 0] > 0
+    assert grid.history_h[0, 1] == 0

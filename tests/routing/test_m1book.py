@@ -1,0 +1,97 @@
+"""Tests for the M1 track booking resource."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.routing.m1book import (
+    M1TrackBook,
+    PDN_STAPLE_PITCH,
+    build_blockage_book,
+)
+from repro.tech import CellArchitecture, make_tech
+
+
+def test_book_and_query():
+    book = M1TrackBook()
+    assert book.is_free(3, 0, 100)
+    book.book(3, 0, 100)
+    assert not book.is_free(3, 50, 60)
+    assert not book.is_free(3, 100, 110)  # closed interval: touch
+    assert book.is_free(3, 101, 200)
+    assert book.is_free(4, 0, 100)  # other column untouched
+
+
+def test_double_booking_rejected():
+    book = M1TrackBook()
+    book.book(0, 10, 20)
+    with pytest.raises(ValueError):
+        book.book(0, 15, 25)
+    book.book(0, 21, 30)  # adjacent is fine
+
+
+def test_booked_length():
+    book = M1TrackBook()
+    book.book(0, 0, 100)
+    book.book(5, 50, 80)
+    assert book.booked_length() == 130
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 500),
+                  st.integers(1, 50)),
+        max_size=25,
+    )
+)
+def test_book_free_consistency(spans):
+    """Property: is_free answers exactly when book would succeed."""
+    book = M1TrackBook()
+    for col, lo, length in spans:
+        hi = lo + length
+        free = book.is_free(col, lo, hi)
+        if free:
+            book.book(col, lo, hi)
+        else:
+            with pytest.raises(ValueError):
+                book.book(col, lo, hi)
+
+
+def _one_cell_design(arch):
+    tech = make_tech(arch)
+    lib = build_library(tech)
+    die = Rect(0, 0, 40 * tech.site_width, 2 * tech.row_height)
+    d = Design("t", tech, die)
+    d.add_instance("u1", lib.macro("NAND2_X1_RVT"))
+    d.place("u1", column=10, row=0)
+    return d, lib
+
+
+def test_closedm1_blockages_from_cells():
+    d, _ = _one_cell_design(CellArchitecture.CLOSED_M1)
+    book = build_blockage_book(d)
+    inst = d.instances["u1"]
+    for col in inst.m1_blocked_columns_abs(d.tech):
+        assert not book.is_free(col, inst.y, inst.y + 10)
+        # The row above the cell stays free.
+        assert book.is_free(col, inst.y + inst.height, d.die.yhi)
+
+
+def test_openm1_pdn_staples():
+    d, _ = _one_cell_design(CellArchitecture.OPEN_M1)
+    book = build_blockage_book(d)
+    assert not book.is_free(0, 0, 10)
+    assert not book.is_free(PDN_STAPLE_PITCH, 0, 10)
+    assert book.is_free(1, 0, 10)  # cells leave M1 open
+
+
+def test_conv12t_blocks_whole_cells():
+    d, _ = _one_cell_design(CellArchitecture.CONV_12T)
+    book = build_blockage_book(d)
+    inst = d.instances["u1"]
+    for col in range(10, 10 + inst.macro.width_sites):
+        assert not book.is_free(col, inst.y, inst.y + 1)

@@ -1,0 +1,200 @@
+"""Tests for stage-1 direct/jogged M1 routing — the dM1 semantics."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.routing.m1book import build_blockage_book
+from repro.routing.m1route import M1Stage
+from repro.routing.subnets import decompose
+from repro.tech import CellArchitecture, make_tech
+
+
+def build(arch, placements, gamma=None, delta=36, jog=4):
+    """Design with INVs wired into one net: ZN of u0 to A of u1."""
+    tech = make_tech(arch)
+    lib = build_library(tech)
+    die = Rect(0, 0, 60 * tech.site_width, 6 * tech.row_height)
+    d = Design("t", tech, die)
+    for i, (col, row, flip) in enumerate(placements):
+        d.add_instance(f"u{i}", lib.macro("INV_X1_RVT"))
+        d.place(f"u{i}", column=col, row=row, flipped=flip)
+    d.add_net("n")
+    d.connect("n", "u0", "ZN")
+    d.connect("n", "u1", "A")
+    stage = M1Stage(
+        d,
+        build_blockage_book(d),
+        gamma=gamma if gamma is not None else arch.default_gamma,
+        delta=delta,
+        jog_max_sites=jog,
+    )
+    subnet = decompose(d, d.nets["n"])[0]
+    return d, stage, subnet
+
+
+# INV_X1: A at interior column 1, ZN at column 2 (width 4).
+def test_closedm1_direct_when_aligned():
+    # u0 ZN at column col0+2; u1 A at column col1+1: align with
+    # col0=10 -> track 12, col1=11 -> track 12.
+    d, stage, subnet = build(
+        CellArchitecture.CLOSED_M1, [(10, 0, False), (11, 1, False)]
+    )
+    route = stage.try_route(subnet)
+    assert route is not None and route.direct
+    assert route.num_via12 == 0
+    assert route.m1_length == abs(subnet.a.point.y - subnet.b.point.y)
+
+
+def test_closedm1_jog_when_misaligned():
+    d, stage, subnet = build(
+        CellArchitecture.CLOSED_M1, [(10, 0, False), (13, 1, False)]
+    )
+    route = stage.try_route(subnet)
+    assert route is not None and not route.direct
+    assert route.num_via12 == 2
+
+
+def test_closedm1_rejects_far_pins():
+    # Same x but 3 rows apart with gamma=1: no stage-1 route; the
+    # x distance also exceeds the jog range horizontally? No - x is
+    # aligned, so only the row span disqualifies it.
+    d, stage, subnet = build(
+        CellArchitecture.CLOSED_M1, [(10, 0, False), (11, 3, False)]
+    )
+    assert stage.try_route(subnet) is None
+
+
+def test_closedm1_gamma2_crosses_free_row():
+    """With gamma=2 a dM1 may cross an intervening row if the track
+    is not blocked there."""
+    d, stage, subnet = build(
+        CellArchitecture.CLOSED_M1,
+        [(10, 0, False), (11, 2, False)],
+        gamma=2,
+    )
+    route = stage.try_route(subnet)
+    assert route is not None and route.direct
+
+
+def test_closedm1_gamma2_blocked_by_intervening_pin():
+    """A cell in the intervening row whose pin stripe sits on the
+    same track blocks the dM1."""
+    # Track of interest: column 12.  Blocker INV at column 11 in row 1
+    # has pins at columns 12, 13 and boundaries 11, 14.
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    die = Rect(0, 0, 60 * tech.site_width, 6 * tech.row_height)
+    d = Design("t", tech, die)
+    d.add_instance("u0", lib.macro("INV_X1_RVT"))
+    d.place("u0", column=10, row=0)
+    d.add_instance("u1", lib.macro("INV_X1_RVT"))
+    d.place("u1", column=11, row=2)
+    d.add_instance("blocker", lib.macro("INV_X1_RVT"))
+    d.place("blocker", column=11, row=1)
+    d.add_net("n")
+    d.connect("n", "u0", "ZN")
+    d.connect("n", "u1", "A")
+    stage = M1Stage(
+        d, build_blockage_book(d), gamma=2, delta=36, jog_max_sites=4
+    )
+    subnet = decompose(d, d.nets["n"])[0]
+    route = stage.try_route(subnet)
+    assert route is None or not route.direct
+
+
+def test_flip_enables_alignment():
+    """The optimizer's flip operation changes pin x and can align."""
+    d, stage, subnet = build(
+        CellArchitecture.CLOSED_M1, [(10, 0, False), (10, 1, False)]
+    )
+    assert stage.try_route(subnet).direct is False  # jog only
+    d2, stage2, subnet2 = build(
+        CellArchitecture.CLOSED_M1, [(10, 0, False), (10, 1, True)]
+    )
+    # Flipped INV (width 4): A moves from column 1 to column 2 -> ZN
+    # of u0 (column 12) aligns with A of u1 (column 12).
+    route = stage2.try_route(subnet2)
+    assert route is not None and route.direct
+
+
+def test_openm1_direct_when_overlapping():
+    d, stage, subnet = build(
+        CellArchitecture.OPEN_M1, [(10, 0, False), (10, 1, False)]
+    )
+    route = stage.try_route(subnet)
+    assert route is not None and route.direct
+    assert route.num_via12 == 0
+
+
+def test_openm1_gamma_limits_span():
+    d, stage, subnet = build(
+        CellArchitecture.OPEN_M1,
+        [(10, 0, False), (10, 5, False)],
+    )
+    route = stage.try_route(subnet)
+    assert route is None or not route.direct
+
+
+def test_openm1_requires_min_overlap():
+    """delta larger than any possible overlap suppresses dM1."""
+    d, stage, subnet = build(
+        CellArchitecture.OPEN_M1,
+        [(10, 0, False), (10, 1, False)],
+        delta=10**6,
+    )
+    route = stage.try_route(subnet)
+    assert route is None or not route.direct
+
+
+def test_openm1_track_resource_is_consumed():
+    """Two dM1 on the same overlap region must use different columns;
+    when only one column exists, the second pair falls back."""
+    tech = make_tech(CellArchitecture.OPEN_M1)
+    lib = build_library(tech)
+    die = Rect(0, 0, 60 * tech.site_width, 6 * tech.row_height)
+    d = Design("t", tech, die)
+    for i, (col, row) in enumerate(((10, 0), (10, 1), (10, 2))):
+        d.add_instance(f"u{i}", lib.macro("INV_X1_RVT"))
+        d.place(f"u{i}", column=col, row=row)
+    d.add_net("n1")
+    d.connect("n1", "u0", "ZN")
+    d.connect("n1", "u1", "A")
+    d.add_net("n2")
+    d.connect("n2", "u1", "ZN")
+    d.connect("n2", "u2", "A")
+    stage = M1Stage(
+        d, build_blockage_book(d), gamma=3, delta=36, jog_max_sites=4
+    )
+    s1 = decompose(d, d.nets["n1"])[0]
+    s2 = decompose(d, d.nets["n2"])[0]
+    r1 = stage.try_route(s1)
+    r2 = stage.try_route(s2)
+    assert r1 is not None and r1.direct
+    # Overlapping y spans on a narrow overlap: either a different
+    # column was found or the second route degraded.
+    if r2 is not None and r2.direct:
+        assert r2.m1_length >= 0  # both fit on distinct columns
+
+
+def test_conventional_never_routes_m1():
+    d, stage, subnet = build(
+        CellArchitecture.CONV_12T, [(10, 0, False), (11, 1, False)]
+    )
+    assert stage.try_route(subnet) is None
+
+
+def test_pad_terminals_not_m1_routed():
+    from repro.geometry import Point
+
+    d, stage, subnet = build(
+        CellArchitecture.CLOSED_M1, [(10, 0, False), (11, 1, False)]
+    )
+    d.nets["n"].pads.append(Point(0, 0))
+    subnets = decompose(d, d.nets["n"])
+    pad_subnets = [
+        s for s in subnets if not (s.a.is_pin and s.b.is_pin)
+    ]
+    for s in pad_subnets:
+        assert stage.try_route(s) is None

@@ -1,0 +1,42 @@
+"""Tests for RouteMetrics."""
+
+import pytest
+
+from repro.routing import RouteMetrics
+
+
+def test_defaults():
+    m = RouteMetrics()
+    assert m.routed_wirelength == 0
+    assert m.num_dm1 == 0
+    assert m.net_lengths == {}
+
+
+def test_as_row_conversion():
+    m = RouteMetrics(
+        routed_wirelength=2_500_000,
+        m1_wirelength=120_000,
+        num_dm1=42,
+        num_via12=900,
+        num_drvs=3,
+        hpwl=2_000_000,
+    )
+    row = m.as_row()
+    assert row["RWL (um)"] == pytest.approx(2500.0)
+    assert row["M1 WL (um)"] == pytest.approx(120.0)
+    assert row["#dM1"] == 42
+    assert row["#via12"] == 900
+    assert row["#DRVs"] == 3
+    assert row["HPWL (um)"] == pytest.approx(2000.0)
+
+
+def test_as_row_custom_dbu():
+    m = RouteMetrics(routed_wirelength=200)
+    assert m.as_row(dbu_per_micron=100)["RWL (um)"] == 2.0
+
+
+def test_net_lengths_independent_instances():
+    a = RouteMetrics()
+    b = RouteMetrics()
+    a.net_lengths["n"] = 5
+    assert b.net_lengths == {}

@@ -1,0 +1,104 @@
+"""End-to-end router tests."""
+
+import pytest
+
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter, RouterConfig
+from repro.routing.gcell import GridConfig
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def routed():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("aes", tech, lib, scale=0.03, seed=2)
+    place_design(design, seed=1)
+    metrics = DetailedRouter(design).route()
+    return design, metrics
+
+
+def test_metrics_populated(routed):
+    design, m = routed
+    assert m.routed_wirelength > 0
+    assert m.hpwl == design.total_hpwl()
+    assert m.num_subnets > 0
+    assert m.num_via12 > 0
+    assert m.num_subnets == m.num_gcell_subnets + m.num_dm1 + m.num_jog_m1
+
+
+def test_rwl_at_least_hpwl(routed):
+    """Routed wirelength can never beat the HPWL lower bound by much
+    (MST decomposition may slightly exceed; never fall below 95%)."""
+    _, m = routed
+    assert m.routed_wirelength >= 0.95 * m.hpwl
+
+
+def test_net_lengths_sum_matches(routed):
+    _, m = routed
+    assert sum(m.net_lengths.values()) == m.routed_wirelength
+
+
+def test_m1_wl_nonzero_for_closedm1(routed):
+    _, m = routed
+    assert m.m1_wirelength > 0
+
+
+def test_router_determinism():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    d = generate_design("aes", tech, lib, scale=0.02, seed=5)
+    place_design(d, seed=1)
+    m1 = DetailedRouter(d).route()
+    m2 = DetailedRouter(d).route()
+    assert m1.routed_wirelength == m2.routed_wirelength
+    assert m1.num_dm1 == m2.num_dm1
+    assert m1.num_via12 == m2.num_via12
+    assert m1.num_drvs == m2.num_drvs
+
+
+def test_gamma_zero_disables_dm1():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    d = generate_design("aes", tech, lib, scale=0.02, seed=5)
+    place_design(d, seed=1)
+    m = DetailedRouter(d, RouterConfig(gamma=0, jog_max_sites=0)).route()
+    assert m.num_dm1 == 0
+    assert m.num_jog_m1 == 0
+
+
+def test_tight_capacity_creates_drvs():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    d = generate_design("aes", tech, lib, scale=0.02, seed=5)
+    place_design(d, seed=1)
+    starved = RouterConfig(
+        grid=GridConfig(derate=0.12, closedm1_m1_share=0.0)
+    )
+    normal = DetailedRouter(d).route()
+    tight = DetailedRouter(d, starved).route()
+    assert tight.num_drvs > normal.num_drvs
+
+
+def test_openm1_more_initial_dm1_than_closedm1():
+    """Overlap (OpenM1) happens by chance far more often than exact
+    alignment (ClosedM1) — Table 2's init #dM1 contrast."""
+    counts = {}
+    for arch in (CellArchitecture.CLOSED_M1, CellArchitecture.OPEN_M1):
+        tech = make_tech(arch)
+        lib = build_library(tech)
+        d = generate_design("aes", tech, lib, scale=0.04, seed=3)
+        place_design(d, seed=1)
+        counts[arch] = DetailedRouter(d).route().num_dm1
+    assert counts[CellArchitecture.OPEN_M1] > counts[
+        CellArchitecture.CLOSED_M1
+    ]
+
+
+def test_as_row_units(routed):
+    _, m = routed
+    row = m.as_row()
+    assert row["RWL (um)"] == pytest.approx(m.routed_wirelength / 1000)
+    assert row["#dM1"] == m.num_dm1

@@ -1,0 +1,104 @@
+"""Tests for the Steiner topology decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.library import build_library
+from repro.netlist import Design, generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter, RouterConfig
+from repro.routing.steiner import (
+    _mst_length_and_edges,
+    decompose_steiner,
+    steiner_points,
+)
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+def test_cross_gets_a_steiner_point():
+    """Four arms of a plus: one central Steiner point saves half the
+    star length."""
+    arms = [
+        Point(0, 500), Point(1000, 500), Point(500, 0),
+        Point(500, 1000),
+    ]
+    mst_len, _ = _mst_length_and_edges(arms)
+    extra = steiner_points(arms)
+    assert Point(500, 500) in extra
+    new_len, _ = _mst_length_and_edges(arms + extra)
+    assert new_len < mst_len
+
+
+def test_collinear_points_gain_nothing():
+    line = [Point(x, 0) for x in (0, 100, 250, 400)]
+    assert steiner_points(line) == []
+
+
+def test_two_points_no_steiner():
+    assert steiner_points([Point(0, 0), Point(5, 5)]) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3000), st.integers(0, 3000)),
+        min_size=3,
+        max_size=7,
+        unique=True,
+    )
+)
+def test_steiner_never_longer_than_mst(coords):
+    points = [Point(x, y) for x, y in coords]
+    mst_len, _ = _mst_length_and_edges(points)
+    extra = steiner_points(points)
+    new_len, edges = _mst_length_and_edges(points + extra)
+    assert new_len <= mst_len
+    assert len(edges) == len(points) + len(extra) - 1
+
+
+def test_decompose_steiner_spans_net():
+    die = Rect(0, 0, 100 * TECH.site_width, 6 * TECH.row_height)
+    d = Design("t", TECH, die)
+    d.add_net("n")
+    for i, (col, row) in enumerate(
+        ((0, 0), (60, 0), (30, 4), (30, 2))
+    ):
+        d.add_instance(f"u{i}", LIB.macro("INV_X1_RVT"))
+        d.place(f"u{i}", column=col, row=row)
+        d.connect("n", f"u{i}", "ZN" if i == 0 else "A")
+    subnets = decompose_steiner(d, d.nets["n"])
+    # Spanning: union-find over endpoints connects all 4 pins.
+    parent = {}
+
+    def find(x):
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for s in subnets:
+        parent[find(s.a.point)] = find(s.b.point)
+    pin_points = {
+        d.instances[f"u{i}"].pin_position("ZN" if i == 0 else "A")
+        for i in range(4)
+    }
+    assert len({find(p) for p in pin_points}) == 1
+
+
+def test_router_steiner_topology_not_longer():
+    d = generate_design("aes", TECH, LIB, scale=0.02, seed=5)
+    place_design(d, seed=1)
+    mst = DetailedRouter(d, RouterConfig()).route()
+    steiner = DetailedRouter(
+        d, RouterConfig(topology="steiner")
+    ).route()
+    # Steiner trunk sharing shortens total routed wirelength.
+    assert steiner.routed_wirelength <= mst.routed_wirelength
+    # Pin-based metrics are unaffected by trunk junctions.
+    assert steiner.num_dm1 >= 0
+    assert steiner.num_drvs <= mst.num_drvs + 5

@@ -1,0 +1,111 @@
+"""Tests for MST subnet decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.library import build_library
+from repro.netlist import Design
+from repro.routing.subnets import decompose, net_terminals
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+def chain_design(n):
+    die = Rect(0, 0, 200 * TECH.site_width, 4 * TECH.row_height)
+    d = Design("t", TECH, die)
+    d.add_net("n")
+    for i in range(n):
+        d.add_instance(f"u{i}", LIB.macro("INV_X1_RVT"))
+        d.place(f"u{i}", column=8 * i, row=i % 4)
+        pin = "ZN" if i == 0 else "A"
+        d.connect("n", f"u{i}", pin) if i < 2 else None
+    return d
+
+
+def test_two_pin_net():
+    d = chain_design(2)
+    subnets = decompose(d, d.nets["n"])
+    assert len(subnets) == 1
+    a, b = subnets[0].a, subnets[0].b
+    assert a.is_pin and b.is_pin
+    assert subnets[0].manhattan_length == a.point.manhattan_distance(
+        b.point
+    )
+
+
+def test_degenerate_nets():
+    d = chain_design(2)
+    d.add_net("empty")
+    assert decompose(d, d.nets["empty"]) == []
+    d.add_net("single")
+    d.add_instance("ux", LIB.macro("INV_X1_RVT"))
+    d.place("ux", column=100, row=0)
+    d.connect("single", "ux", "A")
+    assert decompose(d, d.nets["single"]) == []
+
+
+def test_pads_are_terminals():
+    d = chain_design(2)
+    d.nets["n"].pads.append(Point(0, 0))
+    terminals = net_terminals(d, d.nets["n"])
+    assert len(terminals) == 3
+    assert sum(1 for t in terminals if not t.is_pin) == 1
+    assert len(decompose(d, d.nets["n"])) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 150), st.integers(0, 3)),
+        min_size=2,
+        max_size=12,
+        unique=True,
+    )
+)
+def test_mst_properties(positions):
+    """Property: k terminals -> k-1 edges forming a spanning tree no
+    longer than the star from terminal 0."""
+    die = Rect(0, 0, 160 * TECH.site_width, 4 * TECH.row_height)
+    d = Design("t", TECH, die)
+    d.add_net("n")
+    occupied = set()
+    names = []
+    for i, (col, row) in enumerate(positions):
+        span = set(range(col, col + 4))
+        if any((row, c) in occupied for c in span):
+            continue
+        occupied.update((row, c) for c in span)
+        name = f"u{i}"
+        d.add_instance(name, LIB.macro("INV_X1_RVT"))
+        d.place(name, column=col, row=row)
+        d.connect("n", name, "ZN" if not names else "A")
+        names.append(name)
+    if len(names) < 2:
+        return
+    subnets = decompose(d, d.nets["n"])
+    assert len(subnets) == len(names) - 1
+
+    # Spanning check via union-find over terminal points.
+    parent = {}
+
+    def find(x):
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for s in subnets:
+        ra, rb = find(s.a.point), find(s.b.point)
+        parent[ra] = rb
+    terms = net_terminals(d, d.nets["n"])
+    roots = {find(t.point) for t in terms}
+    assert len(roots) == 1
+
+    mst_len = sum(s.manhattan_length for s in subnets)
+    star_len = sum(
+        terms[0].point.manhattan_distance(t.point) for t in terms[1:]
+    )
+    assert mst_len <= star_len

@@ -1,0 +1,63 @@
+"""Tests for the SVG renderers."""
+
+import pytest
+
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+from repro.viz import render_design_svg, render_routes_svg
+
+
+@pytest.fixture(scope="module")
+def routed():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    d = generate_design("aes", tech, lib, scale=0.01, seed=2)
+    place_design(d, seed=1)
+    router = DetailedRouter(d)
+    router.route()
+    return d, router
+
+
+def test_design_svg_well_formed(routed):
+    design, _ = routed
+    svg = render_design_svg(design)
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    # One rect per instance (plus background/rows).
+    assert svg.count("<rect") >= len(design.instances)
+    # Instance names appear as tooltips.
+    any_name = sorted(design.instances)[0]
+    assert any_name in svg
+
+
+def test_design_svg_without_pins_is_smaller(routed):
+    design, _ = routed
+    with_pins = render_design_svg(design, show_pins=True)
+    without = render_design_svg(design, show_pins=False)
+    assert len(without) < len(with_pins)
+
+
+def test_routes_svg(routed):
+    design, router = routed
+    svg = render_routes_svg(design, router)
+    assert svg.startswith("<svg")
+    # Stage-1 routes render as colored lines when present.
+    m1_lines = svg.count("#2ca02c") + svg.count("#ff7f0e")
+    assert m1_lines == len(router.last_m1_routes)
+
+
+def test_routes_svg_requires_routed_router(routed):
+    design, _ = routed
+    fresh = DetailedRouter(design)
+    with pytest.raises(ValueError):
+        render_routes_svg(design, fresh)
+
+
+def test_router_exposes_artifacts(routed):
+    design, router = routed
+    assert router.last_grid is not None
+    total = len(router.last_m1_routes) + len(router.last_paths)
+    assert total > 0

@@ -1,0 +1,34 @@
+"""Tests for repro.tech.arch — the Figure 1 architecture contracts."""
+
+from repro.tech import AlignmentMode, CellArchitecture
+
+
+def test_track_counts():
+    assert CellArchitecture.CONV_12T.track_count == 12.0
+    assert CellArchitecture.CLOSED_M1.track_count == 7.5
+    assert CellArchitecture.OPEN_M1.track_count == 7.5
+
+
+def test_pin_layers():
+    # ClosedM1 pins are on M1, OpenM1 pins on M0 (paper Figure 1).
+    assert CellArchitecture.CLOSED_M1.pin_layer_index == 1
+    assert CellArchitecture.OPEN_M1.pin_layer_index == 0
+    assert CellArchitecture.CONV_12T.pin_layer_index == 1
+
+
+def test_alignment_modes():
+    assert CellArchitecture.CLOSED_M1.alignment_mode is AlignmentMode.ALIGN
+    assert CellArchitecture.OPEN_M1.alignment_mode is AlignmentMode.OVERLAP
+    assert CellArchitecture.CONV_12T.alignment_mode is AlignmentMode.NONE
+
+
+def test_direct_m1_support():
+    assert CellArchitecture.CLOSED_M1.supports_direct_m1
+    assert CellArchitecture.OPEN_M1.supports_direct_m1
+    assert not CellArchitecture.CONV_12T.supports_direct_m1
+
+
+def test_default_gamma_matches_paper():
+    # ClosedM1 constraint (4) allows adjacent rows; OpenM1 uses gamma=3.
+    assert CellArchitecture.CLOSED_M1.default_gamma == 1
+    assert CellArchitecture.OPEN_M1.default_gamma == 3

@@ -1,0 +1,30 @@
+"""Tests for repro.tech.layers."""
+
+from repro.tech import Direction, Layer, ViaLayer
+
+
+def test_direction_orthogonal():
+    assert Direction.HORIZONTAL.orthogonal() is Direction.VERTICAL
+    assert Direction.VERTICAL.orthogonal() is Direction.HORIZONTAL
+
+
+def test_track_coord_roundtrip():
+    layer = Layer("M2", 2, Direction.HORIZONTAL, pitch=36, offset=18,
+                  width=18)
+    assert layer.track_coord(0) == 18
+    assert layer.track_coord(10) == 378
+    for track in (0, 1, 7, 100):
+        assert layer.nearest_track(layer.track_coord(track)) == track
+
+
+def test_nearest_track_rounds():
+    layer = Layer("M2", 2, Direction.HORIZONTAL, pitch=36, offset=18,
+                  width=18)
+    assert layer.nearest_track(18 + 19) == 1  # closer to track 1
+    assert layer.nearest_track(18 + 17) == 0  # closer to track 0
+
+
+def test_via_layer_fields():
+    via = ViaLayer("V12", 1, 2)
+    assert via.below == 1 and via.above == 2
+    assert via.resistance > 0

@@ -1,0 +1,81 @@
+"""Tests for repro.tech.technology."""
+
+import pytest
+
+from repro.tech import CellArchitecture, make_tech
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech(CellArchitecture.CLOSED_M1)
+
+
+def test_row_heights_by_arch():
+    assert make_tech(CellArchitecture.CLOSED_M1).row_height == 270
+    assert make_tech(CellArchitecture.OPEN_M1).row_height == 270
+    assert make_tech(CellArchitecture.CONV_12T).row_height == 432
+
+
+def test_m1_pitch_equals_site_width(tech):
+    """The ClosedM1 property the whole paper relies on (§1.1)."""
+    assert tech.m1.pitch == tech.site_width
+
+
+def test_layer_stack_order(tech):
+    names = [layer.name for layer in tech.layers]
+    assert names[:5] == ["M0", "M1", "M2", "M3", "M4"]
+    for i, layer in enumerate(tech.layers):
+        assert layer.index == i
+
+
+def test_alternating_directions(tech):
+    for below, above in zip(tech.layers, tech.layers[1:]):
+        assert below.direction != above.direction
+
+
+def test_layer_lookup(tech):
+    assert tech.layer("M2").index == 2
+    with pytest.raises(KeyError):
+        tech.layer("M99")
+
+
+def test_via_between(tech):
+    assert tech.via_between(1, 2).name == "V12"
+    with pytest.raises(KeyError):
+        tech.via_between(0, 2)
+
+
+def test_unit_conversions(tech):
+    assert tech.dbu(1.5) == 1500
+    assert tech.microns(2700) == 2.7
+
+
+def test_site_and_row_grids(tech):
+    assert tech.site_x(10) == 360
+    assert tech.column_of(360) == 10
+    assert tech.column_of(395) == 10
+    assert tech.row_y(3) == 810
+    assert tech.row_of(815) == 3
+
+
+def test_m1_track_centering(tech):
+    """One M1 track per site, centered in the site."""
+    for column in (0, 1, 17):
+        x = tech.m1_track_x(column)
+        assert tech.site_x(column) < x < tech.site_x(column + 1)
+        assert tech.m1_track_of(x) == column
+
+
+def test_bad_layer_index_rejected():
+    from repro.tech.layers import Direction, Layer
+    from repro.tech.technology import Technology
+
+    with pytest.raises(ValueError):
+        Technology(
+            name="bad",
+            arch=CellArchitecture.CLOSED_M1,
+            site_width=36,
+            row_height=270,
+            layers=(Layer("M0", 1, Direction.HORIZONTAL, 36, 18, 18),),
+            via_layers=(),
+        )

@@ -1,0 +1,46 @@
+"""Tests for the §6 recharacterization study."""
+
+from repro.library import build_library
+from repro.tech import CellArchitecture, make_tech
+from repro.timing.characterization import (
+    PIN_EXTENSION_DBU,
+    characterize_pin_extension,
+)
+
+
+def test_inv_pin_extension_is_negligible():
+    """The paper's claim: extending an INV pin by 32 nm changes delay
+    and slew by <= 0.1 ps."""
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    result = characterize_pin_extension(tech, lib.macro("INV_X1_RVT"))
+    assert result.negligible
+    assert abs(result.delay_delta_ps) <= 0.1
+    assert abs(result.slew_delta_ps) <= 0.1
+
+
+def test_whole_library_is_negligible():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    for macro in lib.macros.values():
+        assert characterize_pin_extension(tech, macro).negligible
+
+
+def test_extension_scales_linearly():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    macro = lib.macro("INV_X1_RVT")
+    r1 = characterize_pin_extension(tech, macro, PIN_EXTENSION_DBU)
+    r2 = characterize_pin_extension(tech, macro, PIN_EXTENSION_DBU * 2)
+    assert r2.added_cap_ff == 2 * r1.added_cap_ff
+    assert r2.delay_delta_ps == 2 * r1.delay_delta_ps
+
+
+def test_absurd_extension_not_negligible():
+    """Sanity: the negligibility test can fail (a 100 um stub)."""
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    result = characterize_pin_extension(
+        tech, lib.macro("INV_X1_RVT"), extension_dbu=100_000
+    )
+    assert not result.negligible

@@ -1,0 +1,82 @@
+"""Tests for criticality-weighted net betas (§6 extension)."""
+
+import pytest
+
+from repro.core import OptParams, calculate_objective
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.tech import CellArchitecture, make_tech
+from repro.timing import analyze_timing
+from repro.timing.criticality import criticality_weights
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    d = generate_design("aes", TECH, LIB, scale=0.02, seed=2)
+    place_design(d, seed=1)
+    report = analyze_timing(d)
+    return d, report
+
+
+def test_weights_bounded_and_peak_on_critical(analyzed):
+    design, report = analyzed
+    weights = criticality_weights(design, report, boost=4.0)
+    assert weights
+    for w in weights.values():
+        assert 1.0 <= w <= 5.0 + 1e-9
+    # The critical net carries (near) the max weight.
+    critical_net = max(
+        report.arrival_ps, key=lambda n: report.arrival_ps[n]
+    )
+    assert weights[critical_net] == pytest.approx(5.0, rel=1e-6)
+
+
+def test_boost_zero_is_uniform(analyzed):
+    design, report = analyzed
+    weights = criticality_weights(design, report, boost=0.0)
+    assert all(w == 1.0 for w in weights.values())
+
+
+def test_weighted_objective_differs(analyzed):
+    design, report = analyzed
+    plain = OptParams.for_arch(TECH.arch)
+    weighted = OptParams.for_arch(
+        TECH.arch,
+        net_beta=criticality_weights(design, report),
+    )
+    obj_plain = calculate_objective(design, plain)
+    obj_weighted = calculate_objective(design, weighted)
+    # Weights >= 1 everywhere: weighted HPWL must be larger.
+    assert obj_weighted > obj_plain
+
+
+def test_beta_of_lookup():
+    params = OptParams(beta=2.0, net_beta={"n1": 3.0})
+    assert params.beta_of("n1") == 6.0
+    assert params.beta_of("other") == 2.0
+    uniform = OptParams(beta=2.0)
+    assert uniform.beta_of("n1") == 2.0
+
+
+def test_timing_driven_flow_runs():
+    from repro.flow import FlowConfig, run_flow
+
+    result = run_flow(
+        FlowConfig(
+            profile="aes",
+            scale=0.008,
+            window_um=1.0,
+            time_limit=2.0,
+            timing_driven=True,
+        )
+    )
+    assert result.final_route is not None
+    assert result.design.check_legal() == []
+    # No adverse timing impact under the same period.
+    assert result.final_timing.wns_ns >= (
+        result.init_timing.wns_ns - 0.005
+    )

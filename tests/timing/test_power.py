@@ -1,0 +1,47 @@
+"""Tests for power estimation."""
+
+import pytest
+
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+from repro.timing import estimate_power
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture(scope="module")
+def design():
+    d = generate_design("aes", TECH, LIB, scale=0.03, seed=2)
+    place_design(d, seed=1)
+    return d
+
+
+def test_components_positive(design):
+    report = estimate_power(design)
+    assert report.switching_mw > 0
+    assert report.internal_mw > 0
+    assert report.leakage_mw > 0
+    assert report.total_mw == pytest.approx(
+        report.switching_mw + report.internal_mw + report.leakage_mw
+    )
+
+
+def test_power_tracks_wirelength(design):
+    metrics = DetailedRouter(design).route()
+    base = estimate_power(design, metrics.net_lengths)
+    longer = {k: v * 2 for k, v in metrics.net_lengths.items()}
+    worse = estimate_power(design, longer)
+    assert worse.switching_mw > base.switching_mw
+    assert worse.leakage_mw == base.leakage_mw  # leakage is net-free
+    assert worse.internal_mw == base.internal_mw
+
+
+def test_power_scale_is_plausible(design):
+    """~0.1-1.5 uW per instance at 1 GHz for this library."""
+    report = estimate_power(design)
+    per_inst_uw = report.total_mw * 1000 / len(design.instances)
+    assert 0.05 < per_inst_uw < 2.0

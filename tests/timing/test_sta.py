@@ -1,0 +1,110 @@
+"""Tests for the STA engine."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import Design, generate_design
+from repro.placement import place_design
+from repro.routing import DetailedRouter
+from repro.tech import CellArchitecture, make_tech
+from repro.timing import analyze_timing
+from repro.timing.sta import _SETUP_PS, _stage_delay_ps
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+def flop_chain(n_inv):
+    """DFF -> n_inv INVs -> DFF, all in one row."""
+    die = Rect(0, 0, 200 * TECH.site_width, 2 * TECH.row_height)
+    d = Design("chain", TECH, die)
+    d.add_instance("ff0", LIB.macro("DFF_X1_RVT"))
+    d.place("ff0", column=0, row=0)
+    d.add_net("clk")
+    d.connect("clk", "ff0", "CK")
+    prev_net = "n0"
+    d.add_net(prev_net)
+    d.connect(prev_net, "ff0", "Q")
+    col = 14
+    for i in range(n_inv):
+        d.add_instance(f"inv{i}", LIB.macro("INV_X1_RVT"))
+        d.place(f"inv{i}", column=col, row=0)
+        col += 5
+        d.connect(prev_net, f"inv{i}", "A")
+        prev_net = f"n{i + 1}"
+        d.add_net(prev_net)
+        d.connect(prev_net, f"inv{i}", "ZN")
+    d.add_instance("ff1", LIB.macro("DFF_X1_RVT"))
+    d.place("ff1", column=col, row=0)
+    d.connect("clk", "ff1", "CK")
+    d.connect(prev_net, "ff1", "D")
+    return d
+
+
+def test_chain_delay_matches_hand_computation():
+    d = flop_chain(2)
+    report = analyze_timing(d, net_lengths={})
+    expected = _SETUP_PS
+    for net_name, driver in (("n0", "ff0"), ("n1", "inv0"),
+                             ("n2", "inv1")):
+        net = d.nets[net_name]
+        expected += _stage_delay_ps(d, driver, net, d.net_hpwl(net))
+    assert report.critical_path_ps == pytest.approx(expected)
+
+
+def test_zero_slack_reference():
+    d = flop_chain(3)
+    report = analyze_timing(d)
+    assert report.wns_ps == pytest.approx(0.0, abs=1e-9)
+    assert report.wns_ns == 0.0
+    assert report.tns_ps == pytest.approx(0.0, abs=1e-9)
+
+
+def test_longer_chain_is_slower():
+    t2 = analyze_timing(flop_chain(2)).critical_path_ps
+    t6 = analyze_timing(flop_chain(6)).critical_path_ps
+    assert t6 > t2
+
+
+def test_tight_period_creates_violations():
+    d = flop_chain(4)
+    ref = analyze_timing(d)
+    stressed = analyze_timing(
+        d, clock_period_ps=ref.critical_path_ps / 2
+    )
+    assert stressed.wns_ps < 0
+    assert stressed.wns_ns < 0
+    assert stressed.tns_ps <= stressed.wns_ps
+
+
+def test_wire_length_increases_delay():
+    d = flop_chain(2)
+    short = analyze_timing(d, net_lengths={})
+    long_nets = {name: 50_000 for name in d.nets}
+    slow = analyze_timing(d, net_lengths=long_nets)
+    assert slow.critical_path_ps > short.critical_path_ps
+
+
+def test_full_design_sta_runs():
+    design = generate_design("aes", TECH, LIB, scale=0.03, seed=2)
+    place_design(design, seed=1)
+    metrics = DetailedRouter(design).route()
+    report = analyze_timing(design, metrics.net_lengths)
+    assert report.critical_path_ps > 0
+    assert report.wns_ps == pytest.approx(0.0, abs=1e-9)
+    assert len(report.arrival_ps) > 0
+
+
+def test_optimized_wirelength_cannot_hurt_wns_much():
+    """Route-length reductions translate to equal-or-better timing at
+    the same period — the paper's 'no adverse timing impact' claim."""
+    design = generate_design("aes", TECH, LIB, scale=0.03, seed=2)
+    place_design(design, seed=1)
+    metrics = DetailedRouter(design).route()
+    base = analyze_timing(design, metrics.net_lengths)
+    shorter = {k: int(v * 0.9) for k, v in metrics.net_lengths.items()}
+    better = analyze_timing(
+        design, shorter, clock_period_ps=base.clock_period_ps
+    )
+    assert better.wns_ps >= base.wns_ps - 1e-9
