@@ -5,19 +5,41 @@ Generates a scaled `aes` benchmark, places it, routes it, runs the
 paper's MILP-based vertical-M1-aware detailed placement (VM1Opt), and
 prints the before/after Table 2-style metrics.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--jobs N] [--executor KIND]
+
+``--jobs 2`` dispatches the window MILPs over a two-worker process
+pool (see ``repro.runtime``); the placement is identical to the
+serial run by construction.
 """
 
+import argparse
+
 from repro.flow import FlowConfig, run_flow, table2_row
+from repro.runtime import EXECUTOR_KINDS
 from repro.tech import CellArchitecture
 
 
 def main() -> None:
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument(
+        "--jobs", type=int, default=1,
+        help="window-solve workers (1 = serial)",
+    )
+    cli.add_argument(
+        "--executor", default="auto", choices=EXECUTOR_KINDS,
+        help="window-solve executor backend",
+    )
+    cli.add_argument(
+        "--scale", type=float, default=0.03,
+        help="instance-count scale (1.0 = paper size)",
+    )
+    args = cli.parse_args()
+
     config = FlowConfig(
         profile="aes",
         arch=CellArchitecture.CLOSED_M1,
-        scale=0.03,        # ~370 instances; raise toward 1.0 for the
-                           # paper-size run (needs hours)
+        scale=args.scale,  # 0.03 ~= 370 instances; raise toward 1.0
+                           # for the paper-size run (needs hours)
         utilization=0.75,
         seed=1,
         window_um=1.25,    # optimization window (paper uses 20 um on
@@ -25,8 +47,11 @@ def main() -> None:
         lx=4,              # max x displacement, sites
         ly=1,              # max y displacement, rows
         time_limit=4.0,    # per-window MILP limit, seconds
+        executor=args.executor,
+        jobs=args.jobs,
     )
-    print(f"Running flow: {config.profile} / {config.arch.value} ...")
+    print(f"Running flow: {config.profile} / {config.arch.value} "
+          f"(executor={config.executor}, jobs={config.jobs}) ...")
     result = run_flow(config)
 
     init, final = result.init_route, result.final_route
@@ -38,7 +63,15 @@ def main() -> None:
     print(f"optimizer: {result.opt.iterations} iterations, "
           f"{result.opt.moved_cells} cell moves, "
           f"{result.opt.wall_seconds:.1f}s wall "
-          f"({result.opt.modeled_parallel_seconds:.1f}s parallel-model)")
+          f"({result.opt.measured_parallel_seconds:.1f}s solve phase, "
+          f"{result.opt.modeled_parallel_seconds:.1f}s parallel-model)")
+    if result.telemetry is not None:
+        summary = result.telemetry.summary()
+        print(f"runtime: executor={summary['executor']} "
+              f"jobs={summary['jobs']} "
+              f"windows={summary['windows']['total']} "
+              f"(failed={summary['windows']['failed']}, "
+              f"timed out={summary['windows']['timed_out']})")
 
     print("\n  metric            init      final     change")
     rows = [

@@ -35,6 +35,7 @@ from repro.library import build_library
 from repro.netlist import generate_design
 from repro.netlist.verilog import write_verilog
 from repro.placement import place_design
+from repro.runtime import EXECUTOR_KINDS
 from repro.tech import CellArchitecture, make_tech
 
 _ARCHS = {arch.value: arch for arch in CellArchitecture}
@@ -97,8 +98,13 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         lx=args.lx,
         ly=args.ly,
         time_limit=args.time_limit,
+        executor=args.executor,
+        jobs=args.jobs,
     )
     result = run_flow(config)
+    if args.telemetry and result.telemetry is not None:
+        path = result.telemetry.save(args.telemetry)
+        print(f"telemetry -> {path}", file=sys.stderr)
     row = table2_row(result)
     if args.json:
         print(json.dumps(row, indent=1, default=str))
@@ -159,6 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--lx", type=int, default=4)
     flow.add_argument("--ly", type=int, default=1)
     flow.add_argument("--time-limit", type=float, default=4.0)
+    flow.add_argument(
+        "--jobs", type=int, default=1,
+        help="window-solve workers (1 = serial)",
+    )
+    flow.add_argument(
+        "--executor", default="auto", choices=EXECUTOR_KINDS,
+        help="window-solve executor backend (auto: serial when "
+        "--jobs 1, else a process pool)",
+    )
+    flow.add_argument(
+        "--telemetry", default="",
+        help="write runtime telemetry JSON to this path",
+    )
     flow.add_argument("--json", action="store_true")
     flow.add_argument("--out", default="", help="artifact directory")
     flow.set_defaults(func=_cmd_flow)

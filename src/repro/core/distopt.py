@@ -2,11 +2,19 @@
 
 Windows are partitioned, grouped into independently-optimizable
 families (disjoint x/y projections, §4.1), and each family's windows
-are solved as separate MILPs.  Execution here is sequential — the
-container has one core — but because family members are provably
-independent, the *modeled parallel wall-clock* (sum over families of
-the slowest window) is also reported; it is what an 8-thread run of
-the paper's flow would see.
+are solved as separate MILPs through the :mod:`repro.runtime`
+execution engine.  Per family the engine (1) builds every window
+model from the common pre-family placement, (2) dispatches the solves
+over the configured executor (serial / thread pool / process pool),
+and (3) applies the solutions in canonical window order regardless of
+completion order — which is why a parallel run reproduces the serial
+placement bit-for-bit on the same seed.
+
+Two parallel-time figures are reported: ``modeled_parallel_seconds``
+(per family the slowest window *solve* — what an unbounded parallel
+machine would see; model-build overhead is excluded since builds
+pipeline with solves) and ``measured_parallel_seconds`` (the wall
+clock the engine actually achieved for the dispatch+solve phases).
 
 Every applied window solution is guarded: the local objective
 (HPWL − α·alignments over the window's touched nets) is recomputed
@@ -17,7 +25,7 @@ protects against time-limited solves returning a worse incumbent.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.formulation import (
     WindowProblem,
@@ -28,7 +36,18 @@ from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
 from repro.core.window import independent_families, partition
 from repro.milp.highs_backend import HighsBackend
+from repro.milp.solution import Solution
 from repro.netlist.design import Design
+from repro.runtime import (
+    FamilyScheduler,
+    RunTelemetry,
+    ScheduleConfig,
+    SerialExecutor,
+    SolverSpec,
+    WindowRecord,
+    WindowTask,
+    WindowTaskResult,
+)
 
 
 @dataclass
@@ -40,10 +59,17 @@ class DistOptResult:
     windows_built: int = 0
     windows_applied: int = 0
     windows_reverted: int = 0
+    windows_failed: int = 0
+    windows_timed_out: int = 0
     pairs_considered: int = 0
     wall_seconds: float = 0.0
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
     modeled_parallel_seconds: float = 0.0
+    measured_parallel_seconds: float = 0.0
     family_count: int = 0
+    executor: str = "serial"
+    jobs: int = 1
 
 
 def dist_opt(
@@ -58,6 +84,10 @@ def dist_opt(
     ly: int,
     allow_flip: bool,
     solver=None,
+    executor=None,
+    schedule: ScheduleConfig | None = None,
+    telemetry: RunTelemetry | None = None,
+    pass_label: str = "distopt",
 ) -> DistOptResult:
     """Run one DistOpt pass over the whole design.
 
@@ -70,6 +100,13 @@ def dist_opt(
         allow_flip: enable the flip degree of freedom (the f input).
         solver: MILP backend; defaults to HiGHS with the params' time
             limit.
+        executor: a :mod:`repro.runtime` executor; defaults to a
+            fresh :class:`SerialExecutor` (the pre-engine behavior).
+        schedule: dispatch policy (timeout/retry); defaults to
+            :meth:`ScheduleConfig.for_time_limit` of the solver limit.
+        telemetry: optional :class:`RunTelemetry` accumulating
+            per-window records across passes.
+        pass_label: label stamped on this pass's telemetry records.
 
     Returns:
         A :class:`DistOptResult`; ``objective`` is the global
@@ -79,53 +116,171 @@ def dist_opt(
         solver = HighsBackend(
             time_limit=params.time_limit, mip_rel_gap=params.mip_gap
         )
+    owns_executor = executor is None
+    if executor is None:
+        executor = SerialExecutor()
+    if schedule is None:
+        schedule = ScheduleConfig.for_time_limit(
+            getattr(solver, "time_limit", None)
+        )
+    scheduler = FamilyScheduler(executor, schedule)
+    spec = SolverSpec.from_backend(solver)
+
     started = time.perf_counter()
-    result = DistOptResult(objective=0.0)
+    result = DistOptResult(
+        objective=0.0, executor=executor.name, jobs=executor.jobs
+    )
 
     windows = partition(design, tx, ty, bw, bh)
     families = independent_families(windows)
     result.family_count = len(families)
 
-    for family in families:
-        slowest = 0.0
-        for window in family:
-            t0 = time.perf_counter()
-            problem = build_window_model(
-                design,
-                window,
-                params,
-                lx=lx,
-                ly=ly,
-                allow_flip=allow_flip,
+    try:
+        next_task_id = 0
+        for family_index, family in enumerate(families):
+            next_task_id = _run_family(
+                design, params, family, family_index,
+                spec=spec, scheduler=scheduler, result=result,
+                telemetry=telemetry, pass_label=pass_label,
+                lx=lx, ly=ly, allow_flip=allow_flip,
+                next_task_id=next_task_id,
             )
-            if problem is None:
-                continue
-            result.windows_built += 1
-            result.pairs_considered += problem.num_pairs
-            moved = _solve_and_apply(design, params, problem, solver,
-                                     result)
-            result.moved_cells += moved
-            slowest = max(slowest, time.perf_counter() - t0)
-        result.modeled_parallel_seconds += slowest
+    finally:
+        if owns_executor:
+            executor.close()
 
     result.objective = calculate_objective(design, params)
     result.wall_seconds = time.perf_counter() - started
+    if telemetry is not None:
+        telemetry.record_pass(
+            pass_label,
+            wall_seconds=result.wall_seconds,
+            build_seconds=result.build_seconds,
+            solve_seconds=result.solve_seconds,
+            measured_parallel_seconds=result.measured_parallel_seconds,
+            modeled_parallel_seconds=result.modeled_parallel_seconds,
+            windows=result.windows_built,
+            applied=result.windows_applied,
+            failed=result.windows_failed,
+            timed_out=result.windows_timed_out,
+        )
     return result
 
 
-def _solve_and_apply(
+def _run_family(
+    design: Design,
+    params: OptParams,
+    family,
+    family_index: int,
+    *,
+    spec: SolverSpec,
+    scheduler: FamilyScheduler,
+    result: DistOptResult,
+    telemetry: RunTelemetry | None,
+    pass_label: str,
+    lx: int,
+    ly: int,
+    allow_flip: bool,
+    next_task_id: int,
+) -> int:
+    """Build, solve, and apply one independent family; returns the
+    next free task id."""
+    tasks: list[WindowTask] = []
+    problems: dict[int, WindowProblem] = {}
+    build_seconds: dict[int, float] = {}
+    for window in family:
+        t0 = time.perf_counter()
+        problem = build_window_model(
+            design, window, params, lx=lx, ly=ly, allow_flip=allow_flip
+        )
+        built = time.perf_counter() - t0
+        result.build_seconds += built
+        if problem is None:
+            continue
+        task = WindowTask.from_problem(
+            problem,
+            task_id=next_task_id,
+            family=family_index,
+            solver=spec,
+        )
+        next_task_id += 1
+        tasks.append(task)
+        problems[task.task_id] = problem
+        build_seconds[task.task_id] = built
+        result.windows_built += 1
+        result.pairs_considered += problem.num_pairs
+    if not tasks:
+        return next_task_id
+
+    solve_started = time.perf_counter()
+    outcomes = scheduler.run_family(tasks)
+    result.measured_parallel_seconds += (
+        time.perf_counter() - solve_started
+    )
+
+    slowest_solve = 0.0
+    for task in tasks:  # canonical order — determinism contract
+        outcome = outcomes[task.task_id]
+        slowest_solve = max(slowest_solve, outcome.solve_seconds)
+        result.solve_seconds += outcome.solve_seconds
+        status, moved = _apply_outcome(
+            design, params, problems[task.task_id], outcome, result
+        )
+        result.moved_cells += moved
+        if telemetry is not None:
+            telemetry.record_window(
+                WindowRecord(
+                    pass_label=pass_label,
+                    family=family_index,
+                    ix=task.ix,
+                    iy=task.iy,
+                    build_seconds=build_seconds[task.task_id],
+                    queue_seconds=outcome.queue_seconds,
+                    solve_seconds=outcome.solve_seconds,
+                    status=status,
+                    attempts=outcome.attempts,
+                    moved_cells=moved,
+                    num_pairs=task.num_pairs,
+                    error=outcome.error,
+                )
+            )
+    result.modeled_parallel_seconds += slowest_solve
+    return next_task_id
+
+
+def _apply_outcome(
     design: Design,
     params: OptParams,
     problem: WindowProblem,
-    solver,
+    outcome: WindowTaskResult,
     result: DistOptResult,
-) -> int:
-    """Solve one window and apply its solution behind the local-
-    objective guard; returns the number of cells moved."""
-    solution = solver.solve(problem.model)
-    if not solution.status.has_solution:
-        return 0
+) -> tuple[str, int]:
+    """Fold one solve outcome into the design; returns (status, moved)."""
+    if outcome.timed_out:
+        result.windows_timed_out += 1
+        return "timed_out", 0
+    if outcome.error:
+        result.windows_failed += 1
+        return "failed", 0
+    solution = outcome.solution
+    if solution is None or not solution.status.has_solution:
+        result.windows_failed += 1
+        return "no_solution", 0
+    moved, status = _apply_guarded(
+        design, params, problem, solution, result
+    )
+    return status, moved
 
+
+def _apply_guarded(
+    design: Design,
+    params: OptParams,
+    problem: WindowProblem,
+    solution: Solution,
+    result: DistOptResult,
+) -> tuple[int, str]:
+    """Apply one window solution behind the local-objective guard;
+    returns (cells moved, record status)."""
     nets = [design.nets[name] for name in problem.nets]
     before_local = calculate_objective(design, params, nets)
     snapshot = {
@@ -134,18 +289,19 @@ def _solve_and_apply(
     try:
         moved = apply_solution(design, problem, solution)
     except ValueError:
-        return 0
+        result.windows_failed += 1
+        return 0, "failed"
     if moved == 0:
-        return 0
+        return 0, "no_move"
     after_local = calculate_objective(design, params, nets)
     if after_local > before_local - 1e-9:
         for name, state in snapshot.items():
             inst = design.instances[name]
             inst.x, inst.y, inst.orientation = state
         result.windows_reverted += 1
-        return 0
+        return 0, "reverted"
     result.windows_applied += 1
-    return moved
+    return moved, "applied"
 
 
 def _placement_of(design: Design, name: str):

@@ -17,6 +17,7 @@ from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
 from repro.milp.highs_backend import HighsBackend
 from repro.netlist.design import Design
+from repro.runtime import RunTelemetry, ScheduleConfig, SerialExecutor
 
 #: Hard cap on inner iterations per parameter set (safety net; the
 #: θ = 1% test of the paper normally stops after 1-3 iterations).
@@ -32,7 +33,12 @@ class VM1OptResult:
     iterations: int = 0
     moved_cells: int = 0
     wall_seconds: float = 0.0
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
     modeled_parallel_seconds: float = 0.0
+    measured_parallel_seconds: float = 0.0
+    windows_failed: int = 0
+    windows_timed_out: int = 0
     passes: list[DistOptResult] = field(default_factory=list)
 
     @property
@@ -50,6 +56,9 @@ def vm1_opt(
     params: OptParams,
     *,
     solver=None,
+    executor=None,
+    schedule: ScheduleConfig | None = None,
+    telemetry: RunTelemetry | None = None,
     progress=None,
     enable_flip: bool = True,
     enable_shift: bool = True,
@@ -61,6 +70,11 @@ def vm1_opt(
         params: weights plus the parameter-set sequence U.
         solver: MILP backend shared by all windows (default HiGHS with
             ``params.time_limit`` per window).
+        executor: :mod:`repro.runtime` executor shared by all DistOpt
+            passes (default: a fresh :class:`SerialExecutor`).
+        schedule: dispatch policy (per-task timeout, retries).
+        telemetry: optional :class:`RunTelemetry` accumulating
+            per-window records across the whole run.
         progress: optional callable ``(label, DistOptResult)`` invoked
             after every DistOpt pass.
         enable_flip: run the f=1 (flip) DistOpt pass after each move
@@ -76,6 +90,9 @@ def vm1_opt(
         solver = HighsBackend(
             time_limit=params.time_limit, mip_rel_gap=params.mip_gap
         )
+    owns_executor = executor is None
+    if executor is None:
+        executor = SerialExecutor()
     started = time.perf_counter()
     tech = design.tech
     initial = calculate_objective(design, params)
@@ -85,65 +102,87 @@ def vm1_opt(
 
     tx = ty = 0
     objective = initial
-    for u in params.sequence:
-        bw = max(tech.site_width, tech.dbu(u.bw_um))
-        bh = max(tech.row_height, tech.dbu(u.bh_um))
-        for _ in range(_MAX_INNER_ITERATIONS):
-            pre = objective
-            move_pass = dist_opt(
-                design,
-                params,
-                tx=tx,
-                ty=ty,
-                bw=bw,
-                bh=bh,
-                lx=u.lx,
-                ly=u.ly,
-                allow_flip=False,
-                solver=solver,
-            )
-            _absorb(result, move_pass)
-            if progress is not None:
-                progress("move", move_pass)
-            objective = move_pass.objective
-            if enable_flip:
-                flip_pass = dist_opt(
+    try:
+        for u_index, u in enumerate(params.sequence):
+            bw = max(tech.site_width, tech.dbu(u.bw_um))
+            bh = max(tech.row_height, tech.dbu(u.bh_um))
+            for iteration in range(_MAX_INNER_ITERATIONS):
+                pre = objective
+                label = f"u{u_index}.i{iteration}"
+                move_pass = dist_opt(
                     design,
                     params,
                     tx=tx,
                     ty=ty,
                     bw=bw,
                     bh=bh,
-                    lx=0,
-                    ly=0,
-                    allow_flip=True,
+                    lx=u.lx,
+                    ly=u.ly,
+                    allow_flip=False,
                     solver=solver,
+                    executor=executor,
+                    schedule=schedule,
+                    telemetry=telemetry,
+                    pass_label=f"move[{label}]",
                 )
-                _absorb(result, flip_pass)
+                _absorb(result, move_pass)
                 if progress is not None:
-                    progress("flip", flip_pass)
-                objective = flip_pass.objective
-            result.iterations += 1
-            if enable_shift:
-                # Shift the window grid so last iteration's boundary
-                # cells fall inside a window next time (Algorithm 1
-                # line 9).
-                tx = (tx + bw // 2) % bw
-                ty = (ty + bh // 2) % bh
-            if pre == 0:
-                break
-            delta = (pre - objective) / abs(pre)
-            if delta < params.theta:
-                break
+                    progress("move", move_pass)
+                objective = move_pass.objective
+                if enable_flip:
+                    flip_pass = dist_opt(
+                        design,
+                        params,
+                        tx=tx,
+                        ty=ty,
+                        bw=bw,
+                        bh=bh,
+                        lx=0,
+                        ly=0,
+                        allow_flip=True,
+                        solver=solver,
+                        executor=executor,
+                        schedule=schedule,
+                        telemetry=telemetry,
+                        pass_label=f"flip[{label}]",
+                    )
+                    _absorb(result, flip_pass)
+                    if progress is not None:
+                        progress("flip", flip_pass)
+                    objective = flip_pass.objective
+                result.iterations += 1
+                if enable_shift:
+                    # Shift the window grid so last iteration's
+                    # boundary cells fall inside a window next time
+                    # (Algorithm 1 line 9).
+                    tx = (tx + bw // 2) % bw
+                    ty = (ty + bh // 2) % bh
+                if pre == 0:
+                    break
+                delta = (pre - objective) / abs(pre)
+                if delta < params.theta:
+                    break
+    finally:
+        if owns_executor:
+            executor.close()
 
     result.final_objective = objective
     result.wall_seconds = time.perf_counter() - started
+    if telemetry is not None:
+        telemetry.wall_seconds = result.wall_seconds
     return result
 
 
 def _absorb(result: VM1OptResult, pass_result: DistOptResult) -> None:
     result.passes.append(pass_result)
     result.moved_cells += pass_result.moved_cells
+    result.build_seconds += pass_result.build_seconds
+    result.solve_seconds += pass_result.solve_seconds
     result.modeled_parallel_seconds += (
         pass_result.modeled_parallel_seconds
     )
+    result.measured_parallel_seconds += (
+        pass_result.measured_parallel_seconds
+    )
+    result.windows_failed += pass_result.windows_failed
+    result.windows_timed_out += pass_result.windows_timed_out

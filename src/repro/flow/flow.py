@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.core.params import OptParams, ParamSet
 from repro.core.vm1opt import VM1OptResult, vm1_opt
+from repro.runtime import RunTelemetry, make_executor
 from repro.library import Library, build_library
 from repro.netlist import Design, generate_design
 from repro.placement import place_design
@@ -41,6 +42,9 @@ class FlowConfig:
         timing_driven: derive per-net β weights from the initial STA
             (criticality-weighted HPWL — the paper's §6 future work
             (ii)); ignored when ``params`` is supplied explicitly.
+        executor: window-solve executor kind (``serial`` / ``thread``
+            / ``process`` / ``auto``; see :mod:`repro.runtime`).
+        jobs: worker count for pool executors; 1 = serial.
     """
 
     profile: str = "aes"
@@ -56,6 +60,8 @@ class FlowConfig:
     router: RouterConfig = field(default_factory=RouterConfig)
     optimize: bool = True
     timing_driven: bool = False
+    executor: str = "auto"
+    jobs: int = 1
 
     def resolved_params(self, tech: Technology) -> OptParams:
         if self.params is not None:
@@ -83,6 +89,7 @@ class FlowResult:
     final_route: RouteMetrics | None = None
     final_timing: TimingReport | None = None
     final_power: PowerReport | None = None
+    telemetry: RunTelemetry | None = None
     place_seconds: float = 0.0
     total_seconds: float = 0.0
 
@@ -133,7 +140,17 @@ def run_flow(config: FlowConfig) -> FlowResult:
                 params,
                 net_beta=criticality_weights(design, init_timing),
             )
-        result.opt = vm1_opt(design, params)
+        with make_executor(config.executor, config.jobs) as executor:
+            telemetry = RunTelemetry(
+                executor=executor.name, jobs=executor.jobs
+            )
+            result.opt = vm1_opt(
+                design,
+                params,
+                executor=executor,
+                telemetry=telemetry,
+            )
+            result.telemetry = telemetry
         final_router = DetailedRouter(design, config.router)
         result.final_route = final_router.route()
         result.final_timing = analyze_timing(
@@ -196,5 +213,8 @@ def table2_row(result: FlowResult) -> dict[str, float | str]:
         "runtime (s)": result.opt.wall_seconds if result.opt else 0.0,
         "runtime parallel-model (s)": (
             result.opt.modeled_parallel_seconds if result.opt else 0.0
+        ),
+        "runtime parallel-measured (s)": (
+            result.opt.measured_parallel_seconds if result.opt else 0.0
         ),
     }

@@ -1,0 +1,58 @@
+"""Parallel window-solve execution engine for DistOpt (§4.1).
+
+The paper's Algorithm 2 groups windows into independently-optimizable
+families precisely so they can be *distributed*; this package is the
+machinery that actually does it:
+
+* :mod:`repro.runtime.task` — :class:`WindowTask`, the picklable
+  window subproblem that crosses a process boundary, and
+  :class:`SolverSpec`, the backend recipe rebuilt in the worker.
+* :mod:`repro.runtime.executors` — interchangeable backends:
+  :class:`SerialExecutor` (inline, default), :class:`ThreadExecutor`
+  (GIL-releasing solvers), :class:`MultiprocessExecutor`.
+* :mod:`repro.runtime.scheduler` — family-by-family dispatch with
+  per-task timeout, bounded retry, and graceful degradation.
+* :mod:`repro.runtime.telemetry` — structured logging, per-window
+  build/queue/solve records, and the speedup-vs-model JSON report.
+
+Determinism contract: solutions are applied in canonical window order
+regardless of completion order, so a parallel run produces a placement
+byte-identical to the serial run on the same seed.
+"""
+
+from repro.runtime.executors import (
+    EXECUTOR_KINDS,
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_cores,
+    make_executor,
+)
+from repro.runtime.scheduler import FamilyScheduler, ScheduleConfig
+from repro.runtime.task import SolverSpec, WindowTask, WindowTaskResult
+from repro.runtime.telemetry import (
+    TELEMETRY_SCHEMA,
+    RunTelemetry,
+    WindowRecord,
+    modeled_parallel_seconds,
+)
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
+    "available_cores",
+    "FamilyScheduler",
+    "ScheduleConfig",
+    "SolverSpec",
+    "WindowTask",
+    "WindowTaskResult",
+    "RunTelemetry",
+    "WindowRecord",
+    "modeled_parallel_seconds",
+    "TELEMETRY_SCHEMA",
+]

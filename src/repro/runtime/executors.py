@@ -1,0 +1,141 @@
+"""Interchangeable execution backends for window solves.
+
+Three executors share one interface — ``submit(task) -> Future``:
+
+* :class:`SerialExecutor` — solves inline in the calling process;
+  the default, and the right choice on 1-core CI machines.
+* :class:`ThreadExecutor` — a thread pool; useful for MILP backends
+  that release the GIL during the native solve (HiGHS does for the
+  bulk of its work inside ``scipy.optimize.milp``).
+* :class:`MultiprocessExecutor` — a process pool; tasks and results
+  cross the boundary via pickle (see :mod:`repro.runtime.task`).
+
+Executors only *run* tasks; dispatch order, timeouts, and retries are
+the scheduler's job (:mod:`repro.runtime.scheduler`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+
+from repro.runtime.task import WindowTask, WindowTaskResult
+
+EXECUTOR_KINDS = ("serial", "thread", "process", "auto")
+
+
+def _run_task(task: WindowTask) -> WindowTaskResult:
+    """Module-level worker entry point (must be picklable)."""
+    return task.run()
+
+
+class Executor:
+    """Common interface: ``submit`` one task, get a ``Future`` back."""
+
+    name: str = "base"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def submit(self, task: WindowTask) -> Future:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources; idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """Runs each task inline at submit time (current/legacy behavior).
+
+    Per-task timeouts cannot preempt an inline solve — bounding solve
+    time is the MILP backend's own ``time_limit``'s job here.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(jobs=1)
+
+    def submit(self, task: WindowTask) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(_run_task(task))
+        except Exception as exc:  # noqa: BLE001 — run() should not raise
+            future.set_exception(exc)
+        return future
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool executor for GIL-releasing solver backends."""
+
+    name = "thread"
+
+    def __init__(self, jobs: int = 2) -> None:
+        super().__init__(jobs=jobs)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-solve"
+        )
+
+    def submit(self, task: WindowTask) -> Future:
+        return self._pool.submit(_run_task, task)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class MultiprocessExecutor(Executor):
+    """Process-pool executor; tasks/results cross via pickle."""
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2) -> None:
+        super().__init__(jobs=jobs)
+        self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+    def submit(self, task: WindowTask) -> Future:
+        return self._pool.submit(_run_task, task)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def make_executor(kind: str = "auto", jobs: int = 1) -> Executor:
+    """Build an executor by name.
+
+    ``auto`` picks :class:`SerialExecutor` for ``jobs <= 1`` and
+    :class:`MultiprocessExecutor` otherwise — process isolation is the
+    safe default because every MILP backend benefits, GIL or not.
+    """
+    kind = (kind or "auto").lower()
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+        )
+    if kind == "auto":
+        kind = "serial" if jobs <= 1 else "process"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(jobs=jobs)
+    return MultiprocessExecutor(jobs=jobs)
+
+
+def available_cores() -> int:
+    """Usable CPU count (cgroup-affinity aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1

@@ -1,0 +1,150 @@
+"""Family-by-family dispatch with timeouts, retries, degradation.
+
+DistOpt hands the scheduler one independent family at a time; the
+scheduler fans its windows out over the executor and collects results
+keyed by ``task_id`` so the caller can apply them in canonical order.
+
+Failure policy (graceful degradation — a bad window never aborts the
+pass):
+
+* solver failure (worker exception or ``ERROR`` status) — retried up
+  to ``max_retries`` extra attempts, then recorded as failed;
+* per-task timeout — recorded as timed out, never retried (it would
+  almost certainly time out again) and its eventual result discarded;
+* executor breakdown (e.g. a killed process pool) — every remaining
+  task in the family is recorded as failed.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+from repro.runtime.executors import Executor
+from repro.runtime.task import WindowTask, WindowTaskResult
+
+logger = logging.getLogger("repro.runtime")
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Dispatch policy knobs.
+
+    Attributes:
+        task_timeout: wall-clock budget per solve attempt, measured
+            from submission (None = wait forever).  This is a safety
+            net *above* the MILP backend's own time limit; it only
+            preempts on pool executors (the serial executor solves
+            inline at submit time).
+        max_retries: extra attempts after a solver failure.
+    """
+
+    task_timeout: float | None = None
+    max_retries: int = 1
+
+    @classmethod
+    def for_time_limit(
+        cls, time_limit: float | None
+    ) -> "ScheduleConfig":
+        """Default policy for a given per-window solver time limit:
+        generous enough to never fire on a healthy solve (limit x4
+        plus model-transfer slack), tight enough to unstick a hung
+        worker."""
+        if time_limit is None:
+            return cls(task_timeout=None)
+        return cls(task_timeout=4.0 * time_limit + 30.0)
+
+
+class FamilyScheduler:
+    """Dispatches one window family at a time over an executor."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        config: ScheduleConfig | None = None,
+    ) -> None:
+        self.executor = executor
+        self.config = config or ScheduleConfig()
+
+    def run_family(
+        self, tasks: list[WindowTask]
+    ) -> dict[int, WindowTaskResult]:
+        """Solve every task; returns results keyed by ``task_id``.
+
+        Never raises: every task gets a result, failed or not.
+        """
+        results: dict[int, WindowTaskResult] = {}
+        attempts = {task.task_id: 0 for task in tasks}
+        queue = list(tasks)
+        while queue:
+            in_flight: list[tuple[WindowTask, Future | None, float]] = []
+            for task in queue:
+                attempts[task.task_id] += 1
+                try:
+                    future = self.executor.submit(task)
+                except Exception as exc:  # noqa: BLE001 — broken pool
+                    future = None
+                    results[task.task_id] = WindowTaskResult(
+                        task_id=task.task_id,
+                        attempts=attempts[task.task_id],
+                        error=f"submit failed: {exc!r}",
+                    )
+                in_flight.append(
+                    (task, future, time.perf_counter())
+                )
+            retry: list[WindowTask] = []
+            for task, future, submitted in in_flight:
+                if future is None:
+                    continue
+                result = self._collect(task, future, submitted)
+                result.attempts = attempts[task.task_id]
+                if (
+                    result.error
+                    and not result.timed_out
+                    and attempts[task.task_id]
+                    <= self.config.max_retries
+                ):
+                    logger.warning(
+                        "window (%d,%d) attempt %d failed: %s — "
+                        "retrying",
+                        task.ix, task.iy,
+                        attempts[task.task_id], result.error,
+                    )
+                    retry.append(task)
+                    continue
+                results[task.task_id] = result
+            queue = retry
+        return results
+
+    def _collect(
+        self, task: WindowTask, future: Future, submitted: float
+    ) -> WindowTaskResult:
+        timeout = self.config.task_timeout
+        remaining = None
+        if timeout is not None:
+            remaining = max(
+                0.0, timeout - (time.perf_counter() - submitted)
+            )
+        try:
+            result = future.result(timeout=remaining)
+        except FutureTimeoutError:
+            future.cancel()
+            logger.warning(
+                "window (%d,%d) timed out after %.1fs — skipped",
+                task.ix, task.iy, timeout,
+            )
+            return WindowTaskResult(
+                task_id=task.task_id,
+                timed_out=True,
+                error=f"timed out after {timeout:.1f}s",
+            )
+        except Exception as exc:  # noqa: BLE001 — broken pool etc.
+            return WindowTaskResult(
+                task_id=task.task_id, error=f"executor failure: {exc!r}"
+            )
+        wall = time.perf_counter() - submitted
+        result.queue_seconds = max(0.0, wall - result.solve_seconds)
+        return result

@@ -1,0 +1,183 @@
+"""Picklable window subproblems for cross-process execution.
+
+A :class:`WindowTask` is the unit of work the execution engine ships
+to a worker: the window's fully-built MILP (pins, intervals and local
+nets are already folded into the model's variables and constraints)
+plus a :class:`SolverSpec` describing how to construct the MILP
+backend on the far side of the process boundary.  Everything needed to
+*apply* a solution (candidate lists, λ variables) stays behind in the
+parent's :class:`~repro.core.formulation.WindowProblem` — only the
+solve crosses the boundary, and only a
+:class:`~repro.milp.solution.Solution` comes back.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+
+if TYPE_CHECKING:  # circular-import guard: formulation is heavy
+    from repro.core.formulation import WindowProblem
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Recipe for constructing a MILP backend inside a worker.
+
+    Known backends (``highs``, ``branch_bound``) are rebuilt from
+    their parameters; any other backend object is carried along
+    verbatim via ``instance`` and must itself be picklable.
+    """
+
+    backend: str = "highs"
+    time_limit: float | None = None
+    mip_rel_gap: float = 0.0
+    instance: object | None = None
+
+    @classmethod
+    def from_backend(cls, solver) -> "SolverSpec":
+        """Capture a spec from an already-constructed backend."""
+        from repro.milp.branch_bound import BranchBoundBackend
+        from repro.milp.highs_backend import HighsBackend
+
+        if isinstance(solver, HighsBackend):
+            return cls(
+                backend="highs",
+                time_limit=solver.time_limit,
+                mip_rel_gap=solver.mip_rel_gap,
+            )
+        if isinstance(solver, BranchBoundBackend):
+            return cls(
+                backend="branch_bound",
+                time_limit=getattr(solver, "time_limit", None),
+                instance=solver,
+            )
+        return cls(backend=type(solver).__name__, instance=solver)
+
+    def build(self):
+        """Construct (or return) the backend this spec describes."""
+        if self.instance is not None:
+            return self.instance
+        if self.backend == "highs":
+            from repro.milp.highs_backend import HighsBackend
+
+            return HighsBackend(
+                time_limit=self.time_limit,
+                mip_rel_gap=self.mip_rel_gap,
+            )
+        if self.backend == "branch_bound":
+            from repro.milp.branch_bound import BranchBoundBackend
+
+            return BranchBoundBackend(time_limit=self.time_limit)
+        raise ValueError(f"unknown solver backend {self.backend!r}")
+
+
+@dataclass
+class WindowTaskResult:
+    """What comes back from one window-solve attempt."""
+
+    task_id: int
+    solution: Solution | None = None
+    solve_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    attempts: int = 1
+    timed_out: bool = False
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when a usable (optimal/feasible) solution came back."""
+        return (
+            not self.error
+            and self.solution is not None
+            and self.solution.status.has_solution
+        )
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """Self-contained, picklable window subproblem.
+
+    Attributes:
+        task_id: canonical (submission-order) id; solutions are applied
+            in ascending ``task_id`` order regardless of completion
+            order, which is what makes parallel runs deterministic.
+        ix/iy: window grid coordinates (for telemetry/debugging).
+        family: independent-family index the window belongs to.
+        model: the built window MILP (self-contained).
+        solver: backend recipe used by the worker.
+        nets: names of the window's touched nets (metadata only).
+        num_movable: movable cell count (metadata only).
+        num_pairs: candidate dM1 pin pairs in the model (metadata).
+    """
+
+    task_id: int
+    ix: int
+    iy: int
+    family: int
+    model: Model
+    solver: SolverSpec
+    nets: tuple[str, ...] = ()
+    num_movable: int = 0
+    num_pairs: int = 0
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: "WindowProblem",
+        *,
+        task_id: int,
+        family: int,
+        solver: SolverSpec,
+    ) -> "WindowTask":
+        """Extract the shippable part of a built window problem."""
+        return cls(
+            task_id=task_id,
+            ix=problem.window.ix,
+            iy=problem.window.iy,
+            family=family,
+            model=problem.model,
+            solver=solver,
+            nets=tuple(problem.nets),
+            num_movable=len(problem.movable),
+            num_pairs=problem.num_pairs,
+        )
+
+    def run(self) -> WindowTaskResult:
+        """Execute one solve attempt; never raises.
+
+        Runs inside the worker (process, thread, or inline for the
+        serial executor).  Solver exceptions and ``ERROR`` statuses are
+        folded into ``WindowTaskResult.error`` so the scheduler can
+        decide whether to retry.
+        """
+        started = time.perf_counter()
+        try:
+            backend = self.solver.build()
+            solution = backend.solve(self.model)
+        except Exception as exc:  # noqa: BLE001 — worker boundary
+            return WindowTaskResult(
+                task_id=self.task_id,
+                solve_seconds=time.perf_counter() - started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        elapsed = time.perf_counter() - started
+        error = ""
+        timed_out = False
+        if solution.status is SolveStatus.ERROR:
+            error = solution.message or "solver returned ERROR"
+            # A solve that exhausted the backend's own time limit
+            # without an incumbent is a timeout, not a transient
+            # failure — retrying it would just burn the budget again.
+            timed_out = "time limit" in error.lower()
+        return WindowTaskResult(
+            task_id=self.task_id,
+            solution=solution,
+            solve_seconds=elapsed,
+            timed_out=timed_out,
+            error=error,
+        )

@@ -1,0 +1,170 @@
+"""Run telemetry: structured logs + per-window timing records.
+
+Everything the execution engine observes funnels into a
+:class:`RunTelemetry`: one :class:`WindowRecord` per built window
+(build / queue-wait / solve breakdown, attempts, outcome) and one
+aggregate entry per DistOpt pass.  ``summary()`` produces the JSON
+document described in DESIGN.md §"Runtime & parallel execution";
+``save()`` persists it next to the benchmark results.
+
+The ``repro.runtime`` logger emits a DEBUG line per window and an
+INFO line per pass so a long run can be watched live with
+``logging.basicConfig(level=logging.INFO)``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+logger = logging.getLogger("repro.runtime")
+
+#: JSON schema identifier written into every telemetry document.
+TELEMETRY_SCHEMA = "repro.runtime.telemetry/v1"
+
+
+@dataclass
+class WindowRecord:
+    """Timing + outcome of one window through the engine."""
+
+    pass_label: str
+    family: int
+    ix: int
+    iy: int
+    build_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    status: str = "skipped"  # applied | reverted | no_move |
+    #                          no_solution | failed | timed_out |
+    #                          skipped
+    attempts: int = 0
+    moved_cells: int = 0
+    num_pairs: int = 0
+    error: str = ""
+
+
+def modeled_parallel_seconds(records: list[WindowRecord]) -> float:
+    """Parallel-machine model: per (pass, family) the slowest *solve*
+    bounds the batch; families and passes run back-to-back.
+
+    Build time is excluded deliberately — models are built in the
+    dispatching process and would pipeline with solves on a parallel
+    machine; including it (as the pre-runtime code did) inflated the
+    model by the Python model-build overhead.
+    """
+    slowest: dict[tuple[str, int], float] = {}
+    for rec in records:
+        key = (rec.pass_label, rec.family)
+        slowest[key] = max(slowest.get(key, 0.0), rec.solve_seconds)
+    return sum(slowest.values())
+
+
+@dataclass
+class RunTelemetry:
+    """Accumulates records across all DistOpt passes of one run."""
+
+    executor: str = "serial"
+    jobs: int = 1
+    records: list[WindowRecord] = field(default_factory=list)
+    passes: list[dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def record_window(self, record: WindowRecord) -> None:
+        self.records.append(record)
+        logger.debug(
+            "window %s family=%d (%d,%d) status=%s build=%.3fs "
+            "queue=%.3fs solve=%.3fs attempts=%d",
+            record.pass_label, record.family, record.ix, record.iy,
+            record.status, record.build_seconds, record.queue_seconds,
+            record.solve_seconds, record.attempts,
+        )
+
+    def record_pass(
+        self,
+        label: str,
+        *,
+        wall_seconds: float,
+        build_seconds: float,
+        solve_seconds: float,
+        measured_parallel_seconds: float,
+        modeled_parallel_seconds: float,
+        windows: int,
+        applied: int,
+        failed: int,
+        timed_out: int,
+    ) -> None:
+        entry = {
+            "label": label,
+            "wall_seconds": wall_seconds,
+            "build_seconds": build_seconds,
+            "solve_seconds": solve_seconds,
+            "measured_parallel_seconds": measured_parallel_seconds,
+            "modeled_parallel_seconds": modeled_parallel_seconds,
+            "windows": windows,
+            "applied": applied,
+            "failed": failed,
+            "timed_out": timed_out,
+        }
+        self.passes.append(entry)
+        logger.info(
+            "pass %s: %d windows (%d applied, %d failed, %d timed "
+            "out) wall=%.2fs solve=%.2fs parallel measured=%.2fs "
+            "modeled=%.2fs [%s x%d]",
+            label, windows, applied, failed, timed_out, wall_seconds,
+            solve_seconds, measured_parallel_seconds,
+            modeled_parallel_seconds, self.executor, self.jobs,
+        )
+
+    # ------------------------------------------------------ aggregates
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    def summary(self) -> dict:
+        """The telemetry JSON document (schema v1)."""
+        build = sum(r.build_seconds for r in self.records)
+        solve = sum(r.solve_seconds for r in self.records)
+        queue = sum(r.queue_seconds for r in self.records)
+        measured = sum(
+            p["measured_parallel_seconds"] for p in self.passes
+        )
+        modeled = modeled_parallel_seconds(self.records)
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "windows": {
+                "total": len(self.records),
+                "applied": self._count("applied"),
+                "reverted": self._count("reverted"),
+                "no_move": self._count("no_move"),
+                "no_solution": self._count("no_solution"),
+                "failed": self._count("failed"),
+                "timed_out": self._count("timed_out"),
+            },
+            "seconds": {
+                "wall": self.wall_seconds,
+                "build": build,
+                "solve": solve,
+                "queue_wait": queue,
+                "measured_parallel": measured,
+                "modeled_parallel": modeled,
+            },
+            "speedup": {
+                # serial solve work over what the engine achieved /
+                # what a perfect parallel machine would achieve.
+                "measured": solve / measured if measured > 0 else None,
+                "modeled": solve / modeled if modeled > 0 else None,
+            },
+            "passes": self.passes,
+            "windows_detail": [asdict(r) for r in self.records],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Persist ``summary()`` as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.summary(), indent=1))
+        logger.info("telemetry -> %s", path)
+        return path

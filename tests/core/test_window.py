@@ -113,3 +113,154 @@ def test_partition_properties(tx, ty, bw, bh):
 
 def test_empty_when_no_windows():
     assert independent_families([]) == []
+
+
+# ------------------------------------------------------------------
+# Adversarial family-selection cases.  Parallel correctness of the
+# repro.runtime engine rests on these invariants, so they get explicit
+# coverage beyond the property test above.
+# ------------------------------------------------------------------
+def _share_edge(a, b) -> bool:
+    """True when two window rects share a boundary segment of
+    positive length (corner-point contact does not count)."""
+    x_overlap = a.xlo < b.xhi and b.xlo < a.xhi
+    y_overlap = a.ylo < b.yhi and b.ylo < a.yhi
+    x_touch = a.xhi == b.xlo or b.xhi == a.xlo
+    y_touch = a.yhi == b.ylo or b.yhi == a.ylo
+    return (x_overlap and y_touch) or (y_overlap and x_touch)
+
+
+def test_edge_touching_windows_never_share_a_family():
+    """Windows sharing an edge segment share a projection on one axis
+    and must land in different families.  (Corner-point contact is
+    fine: anti-diagonal neighbors like (1,0)/(0,1) have equal ix+iy
+    and do co-habit a family — their open-interval projections are
+    disjoint, and no cell can live on a zero-width boundary.)"""
+    d = make_design()
+    for tx, ty in [(0, 0), (450, 405), (899, 809)]:
+        windows = partition(d, tx=tx, ty=ty, bw=900, bh=810)
+        family_of = {}
+        for fam_idx, family in enumerate(
+            independent_families(windows)
+        ):
+            for w in family:
+                family_of[(w.ix, w.iy)] = fam_idx
+        edge_pairs = 0
+        for w in windows:
+            for other in windows:
+                if w is not other and _share_edge(w.rect, other.rect):
+                    edge_pairs += 1
+                    assert (
+                        family_of[(w.ix, w.iy)]
+                        != family_of[(other.ix, other.iy)]
+                    )
+        assert edge_pairs > 0
+
+
+def test_single_window_partition_is_one_singleton_family():
+    """A window bigger than the die yields one window, one family."""
+    d = make_design()
+    windows = partition(
+        d, tx=0, ty=0, bw=d.die.width + 1000, bh=d.die.height + 1000
+    )
+    assert len(windows) == 1
+    families = independent_families(windows)
+    assert [len(f) for f in families] == [1]
+
+
+def test_single_row_and_column_grids_yield_singleton_families():
+    """A 1xN (or Nx1) grid shares a projection axis across every
+    window pair, so every family must be a singleton."""
+    d = make_design(cols=200, rows=12)
+    one_row = partition(
+        d, tx=0, ty=0, bw=900, bh=d.die.height + 100
+    )
+    assert len({w.iy for w in one_row}) == 1 and len(one_row) > 1
+    for family in independent_families(one_row):
+        assert len(family) == 1
+
+    one_col = partition(
+        d, tx=0, ty=0, bw=d.die.width + 100, bh=810
+    )
+    assert len({w.ix for w in one_col}) == 1 and len(one_col) > 1
+    for family in independent_families(one_col):
+        assert len(family) == 1
+
+
+def _placed_design(scale=0.015, seed=3):
+    from repro.netlist import generate_design
+    from repro.placement import place_design
+
+    design = generate_design("aes", TECH, LIB, scale=scale, seed=seed)
+    place_design(design, seed=1)
+    return design
+
+
+def test_family_windows_share_no_instance_or_site():
+    """No movable cell (and no site it could occupy) belongs to two
+    windows of one family: the window MILPs of a family touch disjoint
+    λ variables and disjoint site-packing constraints, which is what
+    lets them solve concurrently without a shared-resource conflict."""
+    design = _placed_design()
+    for tx, ty in [(0, 0), (625, 540)]:
+        windows = partition(design, tx, ty, 1250, 1080)
+        for family in independent_families(windows):
+            seen_instances: set[str] = set()
+            for window in family:
+                names = {
+                    inst.name
+                    for inst in design.instances_in(window.rect)
+                }
+                assert not (names & seen_instances)
+                seen_instances |= names
+
+
+def test_family_windows_shared_nets_have_disjoint_projections():
+    """Adversarial reality check: nets *can* span two windows of one
+    family (long nets cross the die), and §4.1 still allows solving
+    them together because the windows' x/y projections are disjoint —
+    each window's ΔHPWL contribution is exact (Figure 4 case (b)).
+    This documents the actual invariant the parallel engine relies
+    on: disjoint projections, not disjoint net sets."""
+    design = _placed_design()
+    windows = partition(design, 0, 0, 1250, 1080)
+    families = independent_families(windows)
+    shared_net_pairs = 0
+    for family in families:
+        nets_of = []
+        for window in family:
+            names = {
+                inst.name for inst in design.instances_in(window.rect)
+            }
+            nets_of.append(
+                (window,
+                 {n.name for n in design.nets_of_instances(names)})
+            )
+        for i, (wa, nets_a) in enumerate(nets_of):
+            for wb, nets_b in nets_of[i + 1 :]:
+                if nets_a & nets_b:
+                    shared_net_pairs += 1
+                    # The safety condition for the shared net:
+                    assert (
+                        wa.rect.xhi <= wb.rect.xlo
+                        or wb.rect.xhi <= wa.rect.xlo
+                    )
+                    assert (
+                        wa.rect.yhi <= wb.rect.ylo
+                        or wb.rect.yhi <= wa.rect.ylo
+                    )
+    # The case must actually occur, or this test proves nothing.
+    assert shared_net_pairs > 0
+
+
+def test_families_partition_is_exact():
+    """Every window lands in exactly one family (no loss, no dupes),
+    even on grids whose sliver-dropping makes them irregular."""
+    d = make_design(cols=97, rows=11)
+    windows = partition(d, tx=123, ty=77, bw=731, bh=851)
+    families = independent_families(windows)
+    flattened = [w for family in families for w in family]
+    assert len(flattened) == len(windows)
+    assert {(w.ix, w.iy) for w in flattened} == {
+        (w.ix, w.iy) for w in windows
+    }

@@ -114,7 +114,10 @@ def test_backends_agree_on_random_models(seed):
     s2 = BranchBoundBackend(time_limit=20).solve(m)
     assert s1.status == s2.status
     if s1.status is SolveStatus.OPTIMAL:
-        assert s1.objective == pytest.approx(s2.objective, abs=1e-6)
+        # abs=1e-5: HiGHS reports objectives through its feasibility
+        # tolerance, so integer-optimal values can be off by ~1e-6
+        # (observed: -3.000001 vs the exact -3.0 on seed=7).
+        assert s1.objective == pytest.approx(s2.objective, abs=1e-5)
 
 
 def test_branch_bound_node_limit_returns_incumbent_status():

@@ -1,0 +1,69 @@
+"""Module-level fake solver backends (picklable for process tests)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.milp.solution import Solution, SolveStatus
+
+
+def tiny_model(name: str = "tiny", reward: float = -2.0):
+    """One-binary model whose optimum sets the variable to 1."""
+    from repro.milp.model import Model
+
+    model = Model(name)
+    x = model.add_binary("x")
+    model.minimize(reward * x)
+    return model
+
+
+class FixedSolveTimeBackend:
+    """Reports a caller-chosen ``solve_seconds`` without solving."""
+
+    def __init__(self, solve_seconds: float = 0.5) -> None:
+        self.solve_seconds = solve_seconds
+
+    def solve(self, model) -> Solution:
+        values = {v.index: v.ub for v in model.vars}
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=model.objective.value(values),
+            values=values,
+            solve_seconds=self.solve_seconds,
+        )
+
+
+class SleepyBackend:
+    """Sleeps, then solves trivially — for timeout tests."""
+
+    def __init__(self, sleep_seconds: float) -> None:
+        self.sleep_seconds = sleep_seconds
+
+    def solve(self, model) -> Solution:
+        time.sleep(self.sleep_seconds)
+        return FixedSolveTimeBackend(0.0).solve(model)
+
+
+class FlakyBackend:
+    """Raises on the first N calls, then solves (retry tests).
+
+    State lives on the instance, so this only behaves as intended
+    with in-process executors (serial/thread).
+    """
+
+    def __init__(self, failures: int = 1) -> None:
+        self.failures = failures
+        self.calls = 0
+
+    def solve(self, model) -> Solution:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"flaky failure #{self.calls}")
+        return FixedSolveTimeBackend(0.0).solve(model)
+
+
+class AlwaysErrorBackend:
+    """Every solve raises — for graceful-degradation tests."""
+
+    def solve(self, model) -> Solution:
+        raise RuntimeError("solver is down")

@@ -1,0 +1,85 @@
+"""Executor backend tests: serial, thread, process, factory."""
+
+import pytest
+
+from repro.runtime import (
+    EXECUTOR_KINDS,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SolverSpec,
+    ThreadExecutor,
+    WindowTask,
+    make_executor,
+)
+
+from tests.runtime._fakes import tiny_model
+
+
+def batch(n=4):
+    spec = SolverSpec(backend="highs", time_limit=5.0)
+    return [
+        WindowTask(
+            task_id=i, ix=i, iy=0, family=0,
+            model=tiny_model(f"m{i}", reward=-(i + 1.0)),
+            solver=spec,
+        )
+        for i in range(n)
+    ]
+
+
+def run_batch(executor, tasks):
+    futures = [executor.submit(t) for t in tasks]
+    return [f.result(timeout=60) for f in futures]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        SerialExecutor,
+        lambda: ThreadExecutor(jobs=2),
+        lambda: MultiprocessExecutor(jobs=2),
+    ],
+    ids=["serial", "thread", "process"],
+)
+def test_executors_solve_batches_identically(factory):
+    tasks = batch()
+    with factory() as executor:
+        results = run_batch(executor, tasks)
+    assert [r.task_id for r in results] == [t.task_id for t in tasks]
+    for i, result in enumerate(results):
+        assert result.ok, result.error
+        # optimum of minimize(-(i+1) * x) with binary x is -(i+1)
+        assert result.solution.objective == pytest.approx(-(i + 1.0))
+        assert result.solve_seconds >= 0.0
+
+
+def test_make_executor_auto_matches_jobs():
+    with make_executor("auto", jobs=1) as ex:
+        assert isinstance(ex, SerialExecutor)
+    with make_executor("auto", jobs=2) as ex:
+        assert isinstance(ex, MultiprocessExecutor)
+        assert ex.jobs == 2
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+def test_make_executor_explicit_kinds(kind):
+    assert kind in EXECUTOR_KINDS
+    with make_executor(kind, jobs=2) as ex:
+        assert ex.name == kind
+        [result] = run_batch(ex, batch(1))
+        assert result.ok
+
+
+def test_make_executor_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_executor("gpu", jobs=2)
+
+
+def test_serial_executor_is_single_job():
+    assert SerialExecutor().jobs == 1
+
+
+def test_close_is_idempotent():
+    executor = ThreadExecutor(jobs=1)
+    executor.close()
+    executor.close()

@@ -1,0 +1,109 @@
+"""WindowTask serialization-layer tests."""
+
+import pickle
+
+import pytest
+
+from repro.milp.highs_backend import HighsBackend
+from repro.runtime import SolverSpec, WindowTask
+
+from tests.runtime._fakes import FixedSolveTimeBackend, tiny_model
+
+
+def make_task(task_id=0, solver=None):
+    return WindowTask(
+        task_id=task_id,
+        ix=1,
+        iy=2,
+        family=0,
+        model=tiny_model(f"t{task_id}"),
+        solver=solver or SolverSpec(backend="highs", time_limit=2.0),
+        nets=("n1", "n2"),
+        num_movable=3,
+        num_pairs=1,
+    )
+
+
+def test_solver_spec_roundtrip_highs():
+    spec = SolverSpec.from_backend(
+        HighsBackend(time_limit=3.5, mip_rel_gap=0.01)
+    )
+    assert spec.backend == "highs"
+    backend = spec.build()
+    assert isinstance(backend, HighsBackend)
+    assert backend.time_limit == 3.5
+    assert backend.mip_rel_gap == 0.01
+
+
+def test_solver_spec_wraps_unknown_backend():
+    fake = FixedSolveTimeBackend(0.25)
+    spec = SolverSpec.from_backend(fake)
+    assert spec.build() is fake
+
+
+def test_solver_spec_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        SolverSpec(backend="cplex").build()
+
+
+def test_task_pickle_roundtrip_solves_identically():
+    task = make_task()
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone.task_id == task.task_id
+    assert clone.nets == task.nets
+    original = task.run()
+    restored = clone.run()
+    assert original.ok and restored.ok
+    assert original.solution.objective == restored.solution.objective
+
+
+def test_run_never_raises_and_reports_error():
+    task = make_task(
+        solver=SolverSpec(backend="custom", instance=None)
+    )
+    # build() raises ValueError for the unknown name; run() must fold
+    # it into the result instead of propagating.
+    result = task.run()
+    assert not result.ok
+    assert "custom" in result.error
+
+
+def test_from_problem_extracts_metadata():
+    from repro.core import OptParams
+    from repro.core.formulation import build_window_model
+    from repro.core.window import partition
+    from repro.library import build_library
+    from repro.netlist import generate_design
+    from repro.placement import place_design
+    from repro.tech import CellArchitecture, make_tech
+
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("m0", tech, lib, scale=0.01, seed=2)
+    place_design(design, seed=1)
+    params = OptParams.for_arch(tech.arch, time_limit=2.0)
+    problem = None
+    for window in partition(design, 0, 0, 1250, 1080):
+        problem = build_window_model(
+            design, window, params, lx=2, ly=1, allow_flip=False
+        )
+        if problem is not None:
+            break
+    assert problem is not None
+    task = WindowTask.from_problem(
+        problem, task_id=7, family=3,
+        solver=SolverSpec(backend="highs", time_limit=2.0),
+    )
+    assert task.task_id == 7
+    assert task.family == 3
+    assert (task.ix, task.iy) == (problem.window.ix, problem.window.iy)
+    assert task.num_movable == len(problem.movable)
+    assert task.nets == tuple(problem.nets)
+    # The task is the shippable half: the model crosses the pickle
+    # boundary intact.
+    clone = pickle.loads(pickle.dumps(task))
+    assert len(clone.model.vars) == len(problem.model.vars)
+    assert len(clone.model.constraints) == len(
+        problem.model.constraints
+    )
+    assert clone.run().ok

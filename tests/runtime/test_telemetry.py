@@ -1,0 +1,159 @@
+"""Telemetry tests: records, modeled-parallel model, JSON schema."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    TELEMETRY_SCHEMA,
+    RunTelemetry,
+    SerialExecutor,
+    WindowRecord,
+    modeled_parallel_seconds,
+)
+
+
+def rec(pass_label="p", family=0, solve=1.0, build=0.0, **kw):
+    return WindowRecord(
+        pass_label=pass_label, family=family, ix=0, iy=0,
+        build_seconds=build, solve_seconds=solve, **kw,
+    )
+
+
+def test_modeled_parallel_is_sum_of_family_maxima():
+    records = [
+        rec(family=0, solve=1.0),
+        rec(family=0, solve=3.0),
+        rec(family=1, solve=2.0),
+        rec(family=1, solve=0.5),
+    ]
+    assert modeled_parallel_seconds(records) == pytest.approx(5.0)
+
+
+def test_modeled_parallel_excludes_build_time():
+    """Satellite fix: the parallel model reflects solver work only —
+    model-build overhead must not inflate it."""
+    records = [
+        rec(family=0, solve=1.0, build=100.0),
+        rec(family=1, solve=2.0, build=50.0),
+    ]
+    assert modeled_parallel_seconds(records) == pytest.approx(3.0)
+
+
+def test_modeled_parallel_separates_passes():
+    records = [
+        rec(pass_label="move", family=0, solve=1.0),
+        rec(pass_label="flip", family=0, solve=2.0),
+    ]
+    # Same family index, different passes: passes run back-to-back.
+    assert modeled_parallel_seconds(records) == pytest.approx(3.0)
+
+
+def test_distopt_modeled_parallel_uses_solve_time_only():
+    """End-to-end version of the satellite fix: a solver whose solve
+    step is instant must yield a near-zero parallel model even though
+    model builds dominate wall time."""
+    from repro.core import OptParams
+    from repro.core.distopt import dist_opt
+    from repro.library import build_library
+    from repro.netlist import generate_design
+    from repro.placement import place_design
+    from repro.tech import CellArchitecture, make_tech
+
+    from tests.runtime._fakes import FixedSolveTimeBackend
+
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("m0", tech, lib, scale=0.01, seed=2)
+    place_design(design, seed=1)
+    params = OptParams.for_arch(tech.arch, time_limit=2.0)
+    telemetry = RunTelemetry()
+    result = dist_opt(
+        design, params, tx=0, ty=0, bw=1250, bh=1080, lx=2, ly=1,
+        allow_flip=False, solver=FixedSolveTimeBackend(0.0),
+        telemetry=telemetry,
+    )
+    assert result.windows_built > 0
+    assert result.build_seconds > 0.0
+    # The fake solve returns instantly; the only per-window solve cost
+    # is the (microsecond-scale) dispatch — orders of magnitude below
+    # the build time that the old implementation counted.
+    assert result.modeled_parallel_seconds < result.build_seconds
+    assert result.modeled_parallel_seconds == pytest.approx(
+        modeled_parallel_seconds(telemetry.records)
+    )
+
+
+def test_summary_schema_and_save(tmp_path):
+    telemetry = RunTelemetry(executor="process", jobs=2)
+    telemetry.record_window(
+        rec(family=0, solve=1.0, build=0.5, status="applied")
+    )
+    telemetry.record_window(
+        rec(family=0, solve=2.0, build=0.25, status="reverted")
+    )
+    telemetry.record_window(rec(family=1, solve=0.5, status="failed"))
+    telemetry.record_pass(
+        "move[u0.i0]",
+        wall_seconds=4.0, build_seconds=0.75, solve_seconds=3.5,
+        measured_parallel_seconds=2.5, modeled_parallel_seconds=2.5,
+        windows=3, applied=1, failed=1, timed_out=0,
+    )
+    telemetry.wall_seconds = 4.0
+
+    summary = telemetry.summary()
+    assert summary["schema"] == TELEMETRY_SCHEMA
+    assert summary["executor"] == "process"
+    assert summary["jobs"] == 2
+    assert summary["windows"] == {
+        "total": 3, "applied": 1, "reverted": 1, "no_move": 0,
+        "no_solution": 0, "failed": 1, "timed_out": 0,
+    }
+    seconds = summary["seconds"]
+    assert seconds["build"] == pytest.approx(0.75)
+    assert seconds["solve"] == pytest.approx(3.5)
+    assert seconds["modeled_parallel"] == pytest.approx(2.5)
+    assert seconds["measured_parallel"] == pytest.approx(2.5)
+    assert summary["speedup"]["measured"] == pytest.approx(3.5 / 2.5)
+    assert len(summary["passes"]) == 1
+    assert len(summary["windows_detail"]) == 3
+
+    path = telemetry.save(tmp_path / "nested" / "telemetry.json")
+    assert path.exists()
+    assert json.loads(path.read_text())["schema"] == TELEMETRY_SCHEMA
+
+
+def test_speedup_none_when_nothing_ran():
+    summary = RunTelemetry().summary()
+    assert summary["speedup"] == {"measured": None, "modeled": None}
+    assert summary["windows"]["total"] == 0
+
+
+def test_distopt_records_match_result_counters():
+    from repro.core import OptParams
+    from repro.core.distopt import dist_opt
+    from repro.library import build_library
+    from repro.netlist import generate_design
+    from repro.placement import place_design
+    from repro.tech import CellArchitecture, make_tech
+
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("m0", tech, lib, scale=0.01, seed=2)
+    place_design(design, seed=1)
+    params = OptParams.for_arch(tech.arch, time_limit=2.0)
+    telemetry = RunTelemetry()
+    result = dist_opt(
+        design, params, tx=0, ty=0, bw=1250, bh=1080, lx=2, ly=1,
+        allow_flip=False, executor=SerialExecutor(),
+        telemetry=telemetry,
+    )
+    assert len(telemetry.records) == result.windows_built
+    by_status: dict[str, int] = {}
+    for record in telemetry.records:
+        by_status[record.status] = by_status.get(record.status, 0) + 1
+    assert by_status.get("applied", 0) == result.windows_applied
+    assert by_status.get("reverted", 0) == result.windows_reverted
+    assert by_status.get("timed_out", 0) == result.windows_timed_out
+    assert len(telemetry.passes) == 1
+    assert telemetry.passes[0]["windows"] == result.windows_built
