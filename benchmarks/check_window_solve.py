@@ -1,0 +1,60 @@
+"""Perf smoke gate for the window-solve hot path.
+
+Reads ``BENCH_window_solve.json`` (written by running
+``benchmarks/test_microbench.py``) and fails when the combined
+build + presolve + solve time on the fixture window has regressed more
+than ``MAX_REGRESSION``x past the committed pre-hot-path baseline in
+``benchmarks/results/window_solve_baseline.json``.
+
+The gate is deliberately loose: CI runners are noisy and the baseline
+was measured on different hardware, so it only catches real order-of-
+magnitude regressions (an accidental O(n^2) build, presolve running
+twice, dense extraction creeping back in) — not percent-level drift.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT = REPO_ROOT / "BENCH_window_solve.json"
+BASELINE = Path(__file__).parent / "results" / "window_solve_baseline.json"
+
+#: Fail when combined time exceeds baseline * MAX_REGRESSION.
+MAX_REGRESSION = 3.0
+
+
+def main() -> int:
+    if not REPORT.exists():
+        print(f"missing {REPORT}; run benchmarks/test_microbench.py first")
+        return 2
+    report = json.loads(REPORT.read_text())
+    combined = report.get("combined_seconds")
+    if combined is None:
+        print("report has no combined_seconds (hot-path benches skipped?)")
+        return 2
+    baseline = json.loads(BASELINE.read_text())
+    limit = baseline["combined_seconds"] * MAX_REGRESSION
+    speedup = report.get("speedup_vs_baseline")
+    print(
+        f"combined build+presolve+solve: {combined * 1e3:.2f} ms "
+        f"(baseline {baseline['combined_seconds'] * 1e3:.2f} ms, "
+        f"limit {limit * 1e3:.2f} ms, "
+        f"min-speedup {speedup:.2f}x)"
+        if speedup is not None
+        else f"combined: {combined * 1e3:.2f} ms (limit {limit * 1e3:.2f} ms)"
+    )
+    if combined > limit:
+        print(
+            f"FAIL: window solve regressed >{MAX_REGRESSION:.0f}x "
+            f"vs committed baseline"
+        )
+        return 1
+    print("perf smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

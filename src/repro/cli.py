@@ -100,6 +100,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         executor=args.executor,
         jobs=args.jobs,
+        presolve=not args.no_presolve,
+        window_cache=not args.no_window_cache,
     )
     result = run_flow(config)
     if args.telemetry and result.telemetry is not None:
@@ -173,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", default="auto", choices=EXECUTOR_KINDS,
         help="window-solve executor backend (auto: serial when "
         "--jobs 1, else a process pool)",
+    )
+    flow.add_argument(
+        "--no-presolve", action="store_true",
+        help="disable the window-model presolve reductions",
+    )
+    flow.add_argument(
+        "--no-window-cache", action="store_true",
+        help="disable the cross-pass window-solve cache",
     )
     flow.add_argument(
         "--telemetry", default="",

@@ -21,6 +21,7 @@ from repro.core.scp import Candidate, enumerate_candidates
 from repro.core.window import Window, independent_families, partition
 from repro.core.objective import alignment_stats, calculate_objective
 from repro.core.formulation import WindowProblem, build_window_model
+from repro.core.windowcache import WindowSolveCache
 from repro.core.distopt import DistOptResult, dist_opt
 from repro.core.vm1opt import VM1OptResult, vm1_opt
 
@@ -37,6 +38,7 @@ __all__ = [
     "calculate_objective",
     "WindowProblem",
     "build_window_model",
+    "WindowSolveCache",
     "DistOptResult",
     "dist_opt",
     "VM1OptResult",

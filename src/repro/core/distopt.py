@@ -36,7 +36,7 @@ from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
 from repro.core.window import independent_families, partition
 from repro.milp.highs_backend import HighsBackend
-from repro.milp.solution import Solution
+from repro.milp.solution import Solution, SolveStatus
 from repro.netlist.design import Design
 from repro.runtime import (
     FamilyScheduler,
@@ -61,9 +61,11 @@ class DistOptResult:
     windows_reverted: int = 0
     windows_failed: int = 0
     windows_timed_out: int = 0
+    windows_cached: int = 0
     pairs_considered: int = 0
     wall_seconds: float = 0.0
     build_seconds: float = 0.0
+    presolve_seconds: float = 0.0
     solve_seconds: float = 0.0
     modeled_parallel_seconds: float = 0.0
     measured_parallel_seconds: float = 0.0
@@ -88,6 +90,8 @@ def dist_opt(
     schedule: ScheduleConfig | None = None,
     telemetry: RunTelemetry | None = None,
     pass_label: str = "distopt",
+    presolve: bool = True,
+    cache=None,
 ) -> DistOptResult:
     """Run one DistOpt pass over the whole design.
 
@@ -107,6 +111,13 @@ def dist_opt(
         telemetry: optional :class:`RunTelemetry` accumulating
             per-window records across passes.
         pass_label: label stamped on this pass's telemetry records.
+        presolve: run the :mod:`repro.milp.presolve` reductions on
+            every window model inside the worker (solutions are lifted
+            back before they cross the process boundary).
+        cache: optional
+            :class:`~repro.core.windowcache.WindowSolveCache`; windows
+            whose content hash matches a previously-cached fixpoint
+            are skipped without building or solving.
 
     Returns:
         A :class:`DistOptResult`; ``objective`` is the global
@@ -144,6 +155,7 @@ def dist_opt(
                 telemetry=telemetry, pass_label=pass_label,
                 lx=lx, ly=ly, allow_flip=allow_flip,
                 next_task_id=next_task_id,
+                presolve=presolve, cache=cache,
             )
     finally:
         if owns_executor:
@@ -156,6 +168,7 @@ def dist_opt(
             pass_label,
             wall_seconds=result.wall_seconds,
             build_seconds=result.build_seconds,
+            presolve_seconds=result.presolve_seconds,
             solve_seconds=result.solve_seconds,
             measured_parallel_seconds=result.measured_parallel_seconds,
             modeled_parallel_seconds=result.modeled_parallel_seconds,
@@ -163,6 +176,10 @@ def dist_opt(
             applied=result.windows_applied,
             failed=result.windows_failed,
             timed_out=result.windows_timed_out,
+            cache_hits=result.windows_cached,
+            cache_misses=(
+                result.windows_built if cache is not None else 0
+            ),
         )
     return result
 
@@ -182,13 +199,36 @@ def _run_family(
     ly: int,
     allow_flip: bool,
     next_task_id: int,
+    presolve: bool,
+    cache,
 ) -> int:
     """Build, solve, and apply one independent family; returns the
     next free task id."""
     tasks: list[WindowTask] = []
     problems: dict[int, WindowProblem] = {}
     build_seconds: dict[int, float] = {}
+    tokens: dict[int, object] = {}
     for window in family:
+        token = None
+        if cache is not None:
+            hit, token = cache.probe(
+                design, window, lx=lx, ly=ly, allow_flip=allow_flip
+            )
+            if hit:
+                # A fixpoint with identical content: re-solving would
+                # deterministically reproduce the same non-move.
+                result.windows_cached += 1
+                if telemetry is not None:
+                    telemetry.record_window(
+                        WindowRecord(
+                            pass_label=pass_label,
+                            family=family_index,
+                            ix=window.ix,
+                            iy=window.iy,
+                            status="cached",
+                        )
+                    )
+                continue
         t0 = time.perf_counter()
         problem = build_window_model(
             design, window, params, lx=lx, ly=ly, allow_flip=allow_flip
@@ -197,16 +237,20 @@ def _run_family(
         result.build_seconds += built
         if problem is None:
             continue
+        if cache is not None:
+            cache.note_miss()
         task = WindowTask.from_problem(
             problem,
             task_id=next_task_id,
             family=family_index,
             solver=spec,
+            presolve=presolve,
         )
         next_task_id += 1
         tasks.append(task)
         problems[task.task_id] = problem
         build_seconds[task.task_id] = built
+        tokens[task.task_id] = token
         result.windows_built += 1
         result.pairs_considered += problem.num_pairs
     if not tasks:
@@ -223,10 +267,23 @@ def _run_family(
         outcome = outcomes[task.task_id]
         slowest_solve = max(slowest_solve, outcome.solve_seconds)
         result.solve_seconds += outcome.solve_seconds
+        result.presolve_seconds += outcome.presolve_seconds
         status, moved = _apply_outcome(
             design, params, problems[task.task_id], outcome, result
         )
         result.moved_cells += moved
+        if (
+            cache is not None
+            and tokens[task.task_id] is not None
+            and status in ("no_move", "reverted")
+            and outcome.solution is not None
+            and outcome.solution.status is SolveStatus.OPTIMAL
+        ):
+            # Fixpoint: the optimal solve produced no (surviving)
+            # move.  Identical content next pass can skip the window.
+            # Applied windows are NOT cached — the next pass
+            # enumerates candidates around the new positions.
+            cache.store(tokens[task.task_id])
         if telemetry is not None:
             telemetry.record_window(
                 WindowRecord(
@@ -236,6 +293,7 @@ def _run_family(
                     iy=task.iy,
                     build_seconds=build_seconds[task.task_id],
                     queue_seconds=outcome.queue_seconds,
+                    presolve_seconds=outcome.presolve_seconds,
                     solve_seconds=outcome.solve_seconds,
                     status=status,
                     attempts=outcome.attempts,

@@ -16,19 +16,41 @@ scores direct-vertical-M1 opportunities:
 Pin pairs that can never align/overlap under any candidate combination
 are pruned before a variable is created (sound pruning: only provably
 d_pq = 0 pairs are dropped).
+
+Two solver-facing details ride on the model:
+
+* **Deterministic tie-break** — window optima are massively degenerate
+  (symmetric swaps, equal-HPWL shifts), so which optimum a solver
+  returns depends on its internal ordering.  Every λ gets a tiny
+  objective perturbation — deterministic in the cell name and the
+  candidate index, total weight below ``_TIE_BREAK_BUDGET`` — which
+  makes the selected optimum a property of the *model*, not of the
+  solve path.  That is what lets presolved/cached solves reproduce the
+  plain solve bit for bit.
+* **Identity warm start** — ``model.warm_start`` carries the
+  always-feasible identity assignment (candidate 0 per cell, all
+  alignment binaries off) for backends that can seed an incumbent.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.core.params import OptParams
 from repro.core.scp import Candidate, enumerate_candidates
 from repro.core.window import Window
-from repro.milp.model import LinExpr, Model, Var
+from repro.geometry import Orientation
+from repro.milp.model import Constraint, LinExpr, Model, Sense, Var
 from repro.milp.solution import Solution
 from repro.netlist.design import Design, Net, PinRef
 from repro.tech.arch import AlignmentMode
+
+#: Total objective weight available to the λ tie-break perturbation.
+#: Kept below 0.5 — half the quantum of the integer-valued primary
+#: objective — so the perturbation can reorder *tied* optima only.
+_TIE_BREAK_BUDGET = 0.45
 
 
 @dataclass
@@ -92,7 +114,7 @@ def build_window_model(
 
     candidates: dict[str, list[Candidate]] = {}
     lambda_vars: dict[str, list[Var]] = {}
-    site_cover: dict[tuple[int, int], list[Var]] = {}
+    site_cover: dict[tuple[int, int], list[Var]] = defaultdict(list)
     for inst in movable_insts:
         cands = [
             cand
@@ -100,10 +122,7 @@ def build_window_model(
                 design, inst, window.rect, lx=lx, ly=ly,
                 allow_flip=allow_flip,
             )
-            if not any(
-                site in blocked
-                for site in cand.covered_sites(inst.macro.width_sites)
-            )
+            if blocked.isdisjoint(cand.sites)
         ]
         if not cands:  # should not happen: identity is always legal
             return None
@@ -114,17 +133,22 @@ def build_window_model(
         ]
         lambda_vars[inst.name] = lams
         model.add_constraint(
-            LinExpr.total(lams).equals(1.0), name=f"sel[{inst.name}]"
+            Constraint(
+                {lam.index: 1.0 for lam in lams}, Sense.EQ, 1.0,
+                name=f"sel[{inst.name}]",
+            )
         )
         for cand, lam in zip(cands, lams):
-            for site in cand.covered_sites(inst.macro.width_sites):
-                site_cover.setdefault(site, []).append(lam)
+            for site in cand.sites:
+                site_cover[site].append(lam)
 
     for site, lams in sorted(site_cover.items()):
         if len(lams) > 1:
             model.add_constraint(
-                LinExpr.total(lams) <= 1.0,
-                name=f"site[{site[0]},{site[1]}]",
+                Constraint(
+                    {lam.index: 1.0 for lam in lams}, Sense.LE, 1.0,
+                    name=f"site[{site[0]},{site[1]}]",
+                )
             )
 
     nets = _touched_nets(design, movable_set)
@@ -132,14 +156,27 @@ def build_window_model(
         design, nets, movable_set, candidates, lambda_vars
     )
 
-    objective = LinExpr()
+    # Objective assembled in one mutable accumulator — `expr + expr`
+    # copies the growing coefficient dict and turned the build
+    # O(terms^2) for large windows.
+    obj_coefs: dict[int, float] = {}
+    obj_const = 0.0
+
+    def accumulate(expr: LinExpr, factor: float) -> None:
+        nonlocal obj_const
+        for idx, coef in expr.coefs.items():
+            obj_coefs[idx] = obj_coefs.get(idx, 0.0) + factor * coef
+        obj_const += factor * expr.const
+
     for net in nets:
-        objective = objective + params.beta_of(net.name) * _hpwl_expr(
-            design, model, net, pin_exprs
+        accumulate(
+            _hpwl_expr(design, model, net, pin_exprs),
+            params.beta_of(net.name),
         )
 
     mode = design.tech.arch.alignment_mode
     d_vars: list[Var] = []
+    v_vars: list[Var] = []
     if mode is not AlignmentMode.NONE and params.alpha > 0:
         span = params.gamma * design.tech.row_height
         for net in nets:
@@ -152,21 +189,25 @@ def build_window_model(
                     d = _closedm1_pair(model, p, q, span, ref_p, ref_q)
                     if d is not None:
                         d_vars.append(d)
-                        objective = objective - params.alpha * d
+                        obj_coefs[d.index] = -float(params.alpha)
                 else:
                     built = _openm1_pair(
                         model, p, q, span, params.delta, ref_p, ref_q
                     )
                     if built is not None:
-                        d, overlap = built
+                        d, overlap, escape = built
                         d_vars.append(d)
-                        objective = (
-                            objective
-                            - params.alpha * d
-                            - params.epsilon * overlap
+                        v_vars.append(escape)
+                        obj_coefs[d.index] = -float(params.alpha)
+                        obj_coefs[overlap.index] = -float(
+                            params.epsilon
                         )
 
-    model.minimize(objective)
+    _perturb_ties(obj_coefs, movable_names, lambda_vars)
+    model.minimize(LinExpr(obj_coefs, obj_const))
+    model.warm_start = _identity_warm_start(
+        movable_names, lambda_vars, d_vars, v_vars
+    )
     return WindowProblem(
         window=window,
         model=model,
@@ -217,20 +258,87 @@ def apply_solution(
 
 
 # ---------------------------------------------------------------- helpers
+def _perturb_ties(
+    obj_coefs: dict[int, float],
+    movable_names: list[str],
+    lambda_vars: dict[str, list[Var]],
+) -> None:
+    """Add the deterministic tie-break perturbation to the λ terms.
+
+    Per cell ``c`` each candidate ``k`` gains
+    ``scale_c * (k + 1) / (n_c + 1)`` where ``scale_c`` is derived
+    from a hash of the cell name.  Within a cell, adjacent candidates
+    are separated by at least ``scale_c / (n_c + 1)`` — orders of
+    magnitude above solver tolerances — and the total across all cells
+    stays below ``_TIE_BREAK_BUDGET`` so no primary-objective decision
+    can be reordered, only genuine ties.
+    """
+    budget = _TIE_BREAK_BUDGET / max(1, len(movable_names))
+    for name in movable_names:
+        digest = hashlib.blake2b(
+            name.encode(), digest_size=8
+        ).digest()
+        fraction = int.from_bytes(digest, "big") / 2**64
+        scale = budget * (0.5 + 0.5 * fraction)
+        lams = lambda_vars[name]
+        step = scale / (len(lams) + 1)
+        for k, lam in enumerate(lams):
+            obj_coefs[lam.index] = (
+                obj_coefs.get(lam.index, 0.0) + step * (k + 1)
+            )
+
+
+def _identity_warm_start(
+    movable_names: list[str],
+    lambda_vars: dict[str, list[Var]],
+    d_vars: list[Var],
+    v_vars: list[Var],
+) -> dict[int, float]:
+    """The always-feasible identity assignment for every integer var:
+    candidate 0 (the current placement) per cell, all alignment
+    binaries off, all escape binaries on."""
+    warm: dict[int, float] = {}
+    for name in movable_names:
+        lams = lambda_vars[name]
+        warm[lams[0].index] = 1.0
+        for lam in lams[1:]:
+            warm[lam.index] = 0.0
+    for d in d_vars:
+        warm[d.index] = 0.0
+    for v in v_vars:
+        warm[v.index] = 1.0
+    return warm
+
+
+def probe_rect(design: Design, window: Window):
+    """The neighborhood a window build actually reads: the window rect
+    expanded far enough to see every blocking cell.  The window-solve
+    cache hashes exactly this neighborhood, so the cache key covers
+    everything that can influence the built model."""
+    tech = design.tech
+    return window.rect.expanded(
+        max(tech.site_width * 64, tech.row_height * 4)
+    )
+
+
 def _blocked_sites(
     design: Design, window: Window, movable: set[str]
 ) -> set[tuple[int, int]]:
     """Sites inside the window footprinted by cells we may not move
     (boundary-straddling or fixed cells)."""
-    tech = design.tech
     blocked: set[tuple[int, int]] = set()
-    probe = window.rect.expanded(
-        max(tech.site_width * 64, tech.row_height * 4)
-    )
-    for name, inst in sorted(design.instances.items()):
+    probe = probe_rect(design, window)
+    xlo, ylo, xhi, yhi = probe.xlo, probe.ylo, probe.xhi, probe.yhi
+    # Set contents are order-independent — no need to sort the scan.
+    for name, inst in design.instances.items():
         if name in movable:
             continue
-        if not inst.bbox.overlaps_open(probe):
+        if (
+            inst.x >= xhi
+            or inst.x + inst.width <= xlo
+            or inst.y >= yhi
+            or inst.y + inst.height <= ylo
+        ):
             continue
         row = design.row_of(inst)
         col = design.column_of(inst)
@@ -252,6 +360,10 @@ def _pin_expressions(
     lambda_vars: dict[str, list[Var]],
 ) -> dict[PinRef, _PinExpr]:
     exprs: dict[PinRef, _PinExpr] = {}
+    # Candidate geometry is per *instance*, not per pin — hoist the
+    # orientation test out of the per-pin loops so a cell's pins share
+    # one (x, y, mirrored) sweep.
+    inst_geo: dict[str, list[tuple[int, int, bool]]] = {}
     for net in nets:
         for ref in net.pins:
             if ref in exprs:
@@ -259,40 +371,68 @@ def _pin_expressions(
             inst = design.instances[ref.instance]
             pin = inst.macro.pin(ref.pin)
             if ref.instance in movable:
-                x = LinExpr()
-                x_lo = LinExpr()
-                x_hi = LinExpr()
-                y = LinExpr()
+                # λ indices are distinct, so each pin expression is a
+                # straight dict fill — building them with `expr + expr`
+                # copied the growing dict per candidate and dominated
+                # the whole model build.
+                x_coefs: dict[int, float] = {}
+                y_coefs: dict[int, float] = {}
+                lo_coefs: dict[int, float] = {}
+                hi_coefs: dict[int, float] = {}
                 xs: list[int] = []
                 ys: list[int] = []
                 lo_min = None
                 hi_max = None
-                for cand, lam in zip(
-                    candidates[ref.instance], lambda_vars[ref.instance]
+                # The pin's relative geometry has exactly two variants
+                # (plain / x-mirrored); resolving the property chain
+                # per candidate dominated this loop.
+                width = inst.width
+                y_rel = pin.y_rel
+                xp_n = pin.x_rel
+                iv_n = pin.x_interval_rel
+                xp_m = width - xp_n
+                iv_m = Orientation.FN.transform_x_interval(
+                    iv_n, width
+                )
+                geo = inst_geo.get(ref.instance)
+                if geo is None:
+                    geo = [
+                        (c.x, c.y, c.orientation.is_x_mirrored)
+                        for c in candidates[ref.instance]
+                    ]
+                    inst_geo[ref.instance] = geo
+                lo_n, hi_n = iv_n.lo, iv_n.hi
+                lo_m, hi_m = iv_m.lo, iv_m.hi
+                for (cx, cy, mirrored), lam in zip(
+                    geo, lambda_vars[ref.instance]
                 ):
-                    xp = cand.orientation.transform_x(
-                        pin.x_rel, inst.width
-                    )
-                    iv = cand.orientation.transform_x_interval(
-                        pin.x_interval_rel, inst.width
-                    )
-                    px = cand.x + xp
-                    py = cand.y + pin.y_rel
-                    x = x + lam * px
-                    y = y + lam * py
-                    x_lo = x_lo + lam * (cand.x + iv.lo)
-                    x_hi = x_hi + lam * (cand.x + iv.hi)
+                    if mirrored:
+                        px = cx + xp_m
+                        lo = cx + lo_m
+                        hi = cx + hi_m
+                    else:
+                        px = cx + xp_n
+                        lo = cx + lo_n
+                        hi = cx + hi_n
+                    py = cy + y_rel
+                    idx = lam.index
+                    # Integer coefficients are fine: every consumer
+                    # (extract, presolve) does float arithmetic, and
+                    # the np.float64 conversion happens once in CSR
+                    # assembly instead of per coefficient here.
+                    x_coefs[idx] = px
+                    y_coefs[idx] = py
+                    lo_coefs[idx] = lo
+                    hi_coefs[idx] = hi
                     xs.append(px)
                     ys.append(py)
-                    lo = cand.x + iv.lo
-                    hi = cand.x + iv.hi
                     lo_min = lo if lo_min is None else min(lo_min, lo)
                     hi_max = hi if hi_max is None else max(hi_max, hi)
                 exprs[ref] = _PinExpr(
-                    x=x,
-                    y=y,
-                    x_lo=x_lo,
-                    x_hi=x_hi,
+                    x=LinExpr(x_coefs),
+                    y=LinExpr(y_coefs),
+                    x_lo=LinExpr(lo_coefs),
+                    x_hi=LinExpr(hi_coefs),
                     x_values=tuple(sorted(set(xs))),
                     y_values=tuple(sorted(set(ys))),
                     lo_min=lo_min or 0,
@@ -303,10 +443,10 @@ def _pin_expressions(
                 pos = inst.pin_position(ref.pin)
                 iv = inst.pin_x_interval(ref.pin)
                 exprs[ref] = _PinExpr(
-                    x=LinExpr.of(float(pos.x)),
-                    y=LinExpr.of(float(pos.y)),
-                    x_lo=LinExpr.of(float(iv.lo)),
-                    x_hi=LinExpr.of(float(iv.hi)),
+                    x=LinExpr({}, float(pos.x)),
+                    y=LinExpr({}, float(pos.y)),
+                    x_lo=LinExpr({}, float(iv.lo)),
+                    x_hi=LinExpr({}, float(iv.hi)),
                     x_values=(pos.x,),
                     y_values=(pos.y,),
                     lo_min=iv.lo,
@@ -340,26 +480,86 @@ def _hpwl_expr(
         return LinExpr.of(float(width + height))
 
     # Tight variable bounds double as the fixed-terminal constraints.
-    all_x = [v for ref in movable_refs for v in pin_exprs[ref].x_values]
-    all_y = [v for ref in movable_refs for v in pin_exprs[ref].y_values]
-    all_x.extend(fixed_xs)
-    all_y.extend(fixed_ys)
-    fx_max = max(fixed_xs) if fixed_xs else min(all_x)
-    fx_min = min(fixed_xs) if fixed_xs else max(all_x)
-    fy_max = max(fixed_ys) if fixed_ys else min(all_y)
-    fy_min = min(fixed_ys) if fixed_ys else max(all_y)
+    # ``x_values``/``y_values`` are sorted, so the extremes come from
+    # the endpoints — no flattened value list needed.
+    min_x = min(pin_exprs[ref].x_values[0] for ref in movable_refs)
+    max_x = max(pin_exprs[ref].x_values[-1] for ref in movable_refs)
+    min_y = min(pin_exprs[ref].y_values[0] for ref in movable_refs)
+    max_y = max(pin_exprs[ref].y_values[-1] for ref in movable_refs)
+    if fixed_xs:
+        fx_max = max(fixed_xs)
+        fx_min = min(fixed_xs)
+        min_x = min(min_x, fx_min)
+        max_x = max(max_x, fx_max)
+    else:
+        fx_max = min_x
+        fx_min = max_x
+    if fixed_ys:
+        fy_max = max(fixed_ys)
+        fy_min = min(fixed_ys)
+        min_y = min(min_y, fy_min)
+        max_y = max(max_y, fy_max)
+    else:
+        fy_max = min_y
+        fy_min = max_y
 
-    x_max = model.add_continuous(f"xmax[{net.name}]", fx_max, max(all_x))
-    x_min = model.add_continuous(f"xmin[{net.name}]", min(all_x), fx_min)
-    y_max = model.add_continuous(f"ymax[{net.name}]", fy_max, max(all_y))
-    y_min = model.add_continuous(f"ymin[{net.name}]", min(all_y), fy_min)
+    x_max = model.add_continuous(f"xmax[{net.name}]", fx_max, max_x)
+    x_min = model.add_continuous(f"xmin[{net.name}]", min_x, fx_min)
+    y_max = model.add_continuous(f"ymax[{net.name}]", fy_max, max_y)
+    y_min = model.add_continuous(f"ymin[{net.name}]", min_y, fy_min)
     for ref in movable_refs:
         expr = pin_exprs[ref]
-        model.add_constraint(x_max - expr.x >= 0.0)
-        model.add_constraint(x_min - expr.x <= 0.0)
-        model.add_constraint(y_max - expr.y >= 0.0)
-        model.add_constraint(y_min - expr.y <= 0.0)
-    return (x_max - x_min) + (y_max - y_min)
+        # Rows are assembled as raw coefficient dicts: the operator
+        # forms copy each pin expression (one dict per λ of the owner
+        # cell) several times per row and dominated the build.
+        model.add_constraint(_bound_row(x_max, expr.x, Sense.GE))
+        model.add_constraint(_bound_row(x_min, expr.x, Sense.LE))
+        model.add_constraint(_bound_row(y_max, expr.y, Sense.GE))
+        model.add_constraint(_bound_row(y_min, expr.y, Sense.LE))
+    return LinExpr(
+        {
+            x_max.index: 1.0,
+            x_min.index: -1.0,
+            y_max.index: 1.0,
+            y_min.index: -1.0,
+        }
+    )
+
+
+def _bound_row(var: Var, expr: LinExpr, sense: Sense) -> Constraint:
+    """``var - expr (sense) 0`` without LinExpr copies."""
+    coefs = {idx: -coef for idx, coef in expr.coefs.items() if coef}
+    coefs[var.index] = coefs.get(var.index, 0.0) + 1.0
+    return Constraint(coefs, sense, expr.const)
+
+
+def _diff_coefs(
+    p: LinExpr, q: LinExpr
+) -> tuple[dict[int, float], float]:
+    """Nonzero coefficients and constant of ``p - q``."""
+    coefs = {idx: coef for idx, coef in p.coefs.items() if coef}
+    for idx, coef in q.coefs.items():
+        merged = coefs.get(idx, 0.0) - coef
+        if merged:
+            coefs[idx] = merged
+        else:
+            coefs.pop(idx, None)
+    return coefs, p.const - q.const
+
+
+def _shifted_row(
+    base: dict[int, float],
+    const: float,
+    extra: Var,
+    extra_coef: float,
+    sense: Sense,
+    rhs: float,
+) -> Constraint:
+    """``base + const + extra_coef*extra (sense) rhs`` as one row."""
+    coefs = dict(base)
+    if extra_coef:
+        coefs[extra.index] = coefs.get(extra.index, 0.0) + extra_coef
+    return Constraint(coefs, sense, rhs - const)
 
 
 def _movable_pairs(net: Net, movable: set[str]):
@@ -392,12 +592,22 @@ def _closedm1_pair(
         + span
     )
     d = model.add_binary(f"d[{_pair_name(ref_p, ref_q)}]")
-    dx = p.x - q.x
-    dy = p.y - q.y
-    model.add_constraint(dx + g_x * d <= g_x)
-    model.add_constraint(dx - g_x * d >= -g_x)
-    model.add_constraint(dy + g_y * d <= g_y + span)
-    model.add_constraint(dy - g_y * d >= -(g_y + span))
+    dx, dx_const = _diff_coefs(p.x, q.x)
+    dy, dy_const = _diff_coefs(p.y, q.y)
+    g_x = float(g_x)
+    g_y = float(g_y)
+    model.add_constraint(
+        _shifted_row(dx, dx_const, d, g_x, Sense.LE, g_x)
+    )
+    model.add_constraint(
+        _shifted_row(dx, dx_const, d, -g_x, Sense.GE, -g_x)
+    )
+    model.add_constraint(
+        _shifted_row(dy, dy_const, d, g_y, Sense.LE, g_y + span)
+    )
+    model.add_constraint(
+        _shifted_row(dy, dy_const, d, -g_y, Sense.GE, -(g_y + span))
+    )
     return d
 
 
@@ -409,8 +619,8 @@ def _openm1_pair(
     delta: int,
     ref_p: PinRef,
     ref_q: PinRef,
-) -> tuple[Var, Var] | None:
-    """Constraints (11)-(14); returns (d, o) or None when pruned."""
+) -> tuple[Var, Var, Var] | None:
+    """Constraints (11)-(14); returns (d, o, v) or None when pruned."""
     best_overlap = min(p.hi_max, q.hi_max) - max(p.lo_min, q.lo_min)
     if best_overlap < delta:
         return None
@@ -423,21 +633,27 @@ def _openm1_pair(
     b = model.add_continuous(
         f"b[{name}]", -float("inf"), min(p.hi_max, q.hi_max)
     )
-    model.add_constraint(a - p.x_lo >= 0.0)
-    model.add_constraint(a - q.x_lo >= 0.0)
-    model.add_constraint(b - p.x_hi <= 0.0)
-    model.add_constraint(b - q.x_hi <= 0.0)
+    model.add_constraint(_bound_row(a, p.x_lo, Sense.GE))
+    model.add_constraint(_bound_row(a, q.x_lo, Sense.GE))
+    model.add_constraint(_bound_row(b, p.x_hi, Sense.LE))
+    model.add_constraint(_bound_row(b, q.x_hi, Sense.LE))
 
     d = model.add_binary(f"d[{name}]")
     v = model.add_binary(f"v[{name}]")
-    g_y = (
+    g_y = float(
         max(p.y_values[-1] - q.y_values[0], q.y_values[-1] - p.y_values[0])
         + span
     )
-    dy = p.y - q.y
-    model.add_constraint(dy - g_y * v <= span)
-    model.add_constraint(dy + g_y * v >= -span)
-    model.add_constraint(d + v <= 1.0)
+    dy, dy_const = _diff_coefs(p.y, q.y)
+    model.add_constraint(
+        _shifted_row(dy, dy_const, v, -g_y, Sense.LE, span)
+    )
+    model.add_constraint(
+        _shifted_row(dy, dy_const, v, g_y, Sense.GE, -span)
+    )
+    model.add_constraint(
+        Constraint({d.index: 1.0, v.index: 1.0}, Sense.LE, 1.0)
+    )
 
     o_cap = max(0.0, float(best_overlap - delta))
     # Relaxation constant for constraint (13): when d = 0 the bound
@@ -447,9 +663,24 @@ def _openm1_pair(
         max(p.hi_max, q.hi_max) - min(p.lo_min, q.lo_min) + delta
     )
     o = model.add_continuous(f"o[{name}]", 0.0, o_cap)
-    model.add_constraint(o - (b - a) - g_13 * (1.0 - d) <= -delta)
-    model.add_constraint(o - o_cap * d <= 0.0)
-    return d, o
+    # o - (b - a) - g_13*(1 - d) <= -delta
+    model.add_constraint(
+        Constraint(
+            {
+                o.index: 1.0,
+                b.index: -1.0,
+                a.index: 1.0,
+                d.index: g_13,
+            },
+            Sense.LE,
+            g_13 - delta,
+        )
+    )
+    coefs = {o.index: 1.0}
+    if o_cap:
+        coefs[d.index] = -o_cap
+    model.add_constraint(Constraint(coefs, Sense.LE, 0.0))
+    return d, o, v
 
 
 def _interval_gap(

@@ -9,15 +9,19 @@ pure binary selection problem.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.geometry import Orientation, Rect
 from repro.netlist.design import Design, Instance
 
 
-@dataclass(frozen=True)
-class Candidate:
+class Candidate(NamedTuple):
     """One legal (column, row, flip) choice for a cell.
+
+    A NamedTuple rather than a (frozen) dataclass: candidate
+    construction sits on the window-build hot path, and the C-level
+    tuple constructor is several times cheaper than per-field
+    ``object.__setattr__``.
 
     Attributes:
         column: absolute site column of the cell's left edge.
@@ -26,6 +30,9 @@ class Candidate:
         x: absolute origin x in DBU.
         y: absolute origin y in DBU.
         orientation: resulting DEF orientation.
+        sites: (row, column) site keys the cell would occupy,
+            precomputed at construction — the site-cover map and every
+            candidate apply used to re-iterate a generator instead.
     """
 
     column: int
@@ -34,11 +41,18 @@ class Candidate:
     x: int
     y: int
     orientation: Orientation
+    sites: tuple[tuple[int, int], ...] = ()
 
-    def covered_sites(self, width_sites: int):
-        """Yield (row, column) site keys the cell would occupy."""
-        for c in range(self.column, self.column + width_sites):
-            yield (self.row, c)
+    def covered_sites(
+        self, width_sites: int
+    ) -> tuple[tuple[int, int], ...]:
+        """The (row, column) site keys the cell would occupy."""
+        if self.sites:
+            return self.sites
+        return tuple(
+            (self.row, c)
+            for c in range(self.column, self.column + width_sites)
+        )
 
 
 def enumerate_candidates(
@@ -59,51 +73,78 @@ def enumerate_candidates(
     the MILP always has a feasible identity solution.
     """
     tech = design.tech
+    die = design.die
     col0 = design.column_of(inst)
     row0 = design.row_of(inst)
     flip0 = inst.flipped
     width_sites = inst.macro.width_sites
+    sw = tech.site_width
+    rh = tech.row_height
 
-    flips = (flip0,) if not allow_flip else (flip0, not flip0)
+    # The die and region containment checks are separable per axis, so
+    # clip once into [col_lo, col_hi] x [row_lo, row_hi] instead of
+    # building and testing a footprint Rect per candidate.
+    col_lo = max(0, col0 - lx, -((die.xlo - region.xlo) // sw))
+    col_hi = min(
+        design.num_columns - width_sites,
+        col0 + lx,
+        (region.xhi - die.xlo - inst.width) // sw,
+    )
+    row_lo = max(0, row0 - ly, -((die.ylo - region.ylo) // rh))
+    row_hi = min(
+        design.num_rows - 1,
+        row0 + ly,
+        (region.yhi - die.ylo - inst.height) // rh,
+    )
+    if col_lo > col_hi or row_lo > row_hi:
+        return []
+
+    flips = (False, True) if allow_flip else (flip0,)
+    has_identity = (
+        col_lo <= col0 <= col_hi and row_lo <= row0 <= row_hi
+    )
     candidates: list[Candidate] = []
-    seen: set[tuple[int, int, bool]] = set()
-    for flip in flips:
-        for d_row in range(-ly, ly + 1):
-            row = row0 + d_row
-            if not 0 <= row < design.num_rows:
-                continue
-            for d_col in range(-lx, lx + 1):
-                col = col0 + d_col
-                if col < 0 or col + width_sites > design.num_columns:
-                    continue
-                key = (col, row, flip)
-                if key in seen:
-                    continue
-                seen.add(key)
-                x = design.die.xlo + col * tech.site_width
-                y = design.die.ylo + row * tech.row_height
-                footprint = Rect(
-                    x, y, x + inst.width, y + inst.height
-                )
-                if not region.contains_rect(footprint):
+    if has_identity:
+        candidates.append(
+            Candidate(
+                col0,
+                row0,
+                flip0,
+                die.xlo + col0 * sw,
+                die.ylo + row0 * rh,
+                Orientation.for_row(row0, flip0),
+                tuple(
+                    (row0, c)
+                    for c in range(col0, col0 + width_sites)
+                ),
+            )
+        )
+    # Remaining candidates in (row, column, flip) order — with the
+    # identity pinned first there is nothing left to sort.
+    for row in range(row_lo, row_hi + 1):
+        y = die.ylo + row * rh
+        orients = tuple(
+            Orientation.for_row(row, flip) for flip in flips
+        )
+        row_sites = [
+            (row, c)
+            for c in range(col_lo, col_hi + width_sites)
+        ]
+        for col in range(col_lo, col_hi + 1):
+            x = die.xlo + col * sw
+            start = col - col_lo
+            sites = tuple(row_sites[start : start + width_sites])
+            for flip, orientation in zip(flips, orients):
+                if (
+                    has_identity
+                    and col == col0
+                    and row == row0
+                    and flip == flip0
+                ):
                     continue
                 candidates.append(
                     Candidate(
-                        column=col,
-                        row=row,
-                        flipped=flip,
-                        x=x,
-                        y=y,
-                        orientation=Orientation.for_row(row, flip),
+                        col, row, flip, x, y, orientation, sites
                     )
                 )
-    # Keep the identity candidate first for deterministic warm starts.
-    candidates.sort(
-        key=lambda c: (
-            (c.column, c.row, c.flipped) != (col0, row0, flip0),
-            c.row,
-            c.column,
-            c.flipped,
-        )
-    )
     return candidates

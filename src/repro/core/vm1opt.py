@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.core.distopt import DistOptResult, dist_opt
 from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
+from repro.core.windowcache import WindowSolveCache
 from repro.milp.highs_backend import HighsBackend
 from repro.netlist.design import Design
 from repro.runtime import RunTelemetry, ScheduleConfig, SerialExecutor
@@ -34,11 +35,13 @@ class VM1OptResult:
     moved_cells: int = 0
     wall_seconds: float = 0.0
     build_seconds: float = 0.0
+    presolve_seconds: float = 0.0
     solve_seconds: float = 0.0
     modeled_parallel_seconds: float = 0.0
     measured_parallel_seconds: float = 0.0
     windows_failed: int = 0
     windows_timed_out: int = 0
+    windows_cached: int = 0
     passes: list[DistOptResult] = field(default_factory=list)
 
     @property
@@ -62,6 +65,8 @@ def vm1_opt(
     progress=None,
     enable_flip: bool = True,
     enable_shift: bool = True,
+    presolve: bool = True,
+    window_cache: bool = True,
 ) -> VM1OptResult:
     """Run the full vertical-M1-aware detailed placement optimization.
 
@@ -82,10 +87,18 @@ def vm1_opt(
         enable_shift: shift the window grid between iterations so
             boundary cells get optimized (ablation knob; Algorithm 1
             line 9).
+        presolve: run the window-model presolve reductions before
+            every solve (behaviour-preserving; see
+            :mod:`repro.milp.presolve`).
+        window_cache: keep a cross-pass
+            :class:`~repro.core.windowcache.WindowSolveCache` so
+            windows whose neighborhood has not changed since their
+            last fixpoint solve are skipped (behaviour-preserving).
 
     Returns:
         A :class:`VM1OptResult` with objective history and timing.
     """
+    cache = WindowSolveCache() if window_cache else None
     if solver is None:
         solver = HighsBackend(
             time_limit=params.time_limit, mip_rel_gap=params.mip_gap
@@ -124,6 +137,8 @@ def vm1_opt(
                     schedule=schedule,
                     telemetry=telemetry,
                     pass_label=f"move[{label}]",
+                    presolve=presolve,
+                    cache=cache,
                 )
                 _absorb(result, move_pass)
                 if progress is not None:
@@ -145,6 +160,8 @@ def vm1_opt(
                         schedule=schedule,
                         telemetry=telemetry,
                         pass_label=f"flip[{label}]",
+                        presolve=presolve,
+                        cache=cache,
                     )
                     _absorb(result, flip_pass)
                     if progress is not None:
@@ -177,7 +194,9 @@ def _absorb(result: VM1OptResult, pass_result: DistOptResult) -> None:
     result.passes.append(pass_result)
     result.moved_cells += pass_result.moved_cells
     result.build_seconds += pass_result.build_seconds
+    result.presolve_seconds += pass_result.presolve_seconds
     result.solve_seconds += pass_result.solve_seconds
+    result.windows_cached += pass_result.windows_cached
     result.modeled_parallel_seconds += (
         pass_result.modeled_parallel_seconds
     )

@@ -1,0 +1,133 @@
+"""Cross-pass window-solve cache: skip windows whose content is
+unchanged since their last *fixpoint* solve.
+
+VM1Opt re-runs DistOpt over the same (or half-shifted) window grids
+pass after pass; once a neighborhood settles, every later pass
+rebuilds and re-solves a window only to conclude "no improving move"
+again.  The cache remembers, per window key, a content hash of
+everything the model build reads; when the hash matches, the build and
+solve are skipped entirely.
+
+Soundness — why skipping preserves the placement bit for bit:
+
+* Only **fixpoint** outcomes are cached: windows whose solve ended
+  ``OPTIMAL`` and whose guarded apply changed nothing (``no_move``) or
+  was reverted (``reverted``).  The model build is a deterministic
+  function of the hashed content, and a solve of the identical model
+  with identical options is deterministic, so re-running such a window
+  provably reproduces the same non-move.  Skipping it cannot change
+  the placement — at *any* optimality gap.
+* **Applied** windows are never cached: the next pass enumerates SCP
+  candidates around the new positions and could move further.
+* The content hash covers the probe neighborhood (every instance whose
+  bbox can block sites in the window, with position/orientation/fixed
+  state) plus the full pin ownership of every net touched by the
+  window's movable cells — i.e. every input of
+  :func:`~repro.core.formulation.build_window_model` that can vary
+  between passes.  Window geometry and the (lx, ly, allow_flip)
+  freedom are part of the key itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.formulation import probe_rect
+from repro.core.window import Window
+from repro.netlist.design import Design
+
+#: (window rect, lx, ly, allow_flip) — the per-window identity.
+CacheKey = tuple[int, int, int, int, int, int, bool]
+
+
+@dataclass(frozen=True)
+class CacheToken:
+    """A probe result: the key plus the content hash it saw."""
+
+    key: CacheKey
+    content: bytes
+
+
+class WindowSolveCache:
+    """Fixpoint cache over window solves (one instance per VM1Opt run).
+
+    Protocol: call :meth:`probe` before building a window — a ``hit``
+    means the window may be skipped outright.  After a solve whose
+    outcome is a fixpoint (``no_move``/``reverted`` with an ``OPTIMAL``
+    status), call :meth:`store` with the probe's token.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[CacheKey, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def probe(
+        self,
+        design: Design,
+        window: Window,
+        *,
+        lx: int,
+        ly: int,
+        allow_flip: bool,
+    ) -> tuple[bool, CacheToken]:
+        """Hash the window's content; returns ``(hit, token)``."""
+        key: CacheKey = (
+            window.rect.xlo,
+            window.rect.ylo,
+            window.rect.xhi,
+            window.rect.yhi,
+            lx,
+            ly,
+            allow_flip,
+        )
+        content = self.signature(design, window)
+        token = CacheToken(key=key, content=content)
+        hit = self._entries.get(key) == content
+        if hit:
+            self.hits += 1
+        return hit, token
+
+    def note_miss(self) -> None:
+        """Count a window that had to be built and solved."""
+        self.misses += 1
+
+    def store(self, token: CacheToken) -> None:
+        """Remember a fixpoint outcome for the token's content."""
+        self._entries[token.key] = token.content
+        self.stores += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def signature(design: Design, window: Window) -> bytes:
+        """Content hash of everything the window build reads."""
+        digest = hashlib.blake2b(digest_size=16)
+        probe = probe_rect(design, window)
+        movable: set[str] = set()
+        for name, inst in sorted(design.instances.items()):
+            if not inst.bbox.overlaps_open(probe):
+                continue
+            digest.update(
+                f"{name},{inst.x},{inst.y},{inst.orientation.value},"
+                f"{int(inst.fixed)};".encode()
+            )
+            if not inst.fixed and window.rect.contains_rect(inst.bbox):
+                movable.add(name)
+        for net in design.nets_of_instances(movable):
+            digest.update(f"|{net.name}".encode())
+            for ref in net.pins:
+                inst = design.instances[ref.instance]
+                digest.update(
+                    f",{ref.instance}.{ref.pin}:{inst.x},{inst.y},"
+                    f"{inst.orientation.value}".encode()
+                )
+        return digest.digest()

@@ -45,6 +45,10 @@ class FlowConfig:
         executor: window-solve executor kind (``serial`` / ``thread``
             / ``process`` / ``auto``; see :mod:`repro.runtime`).
         jobs: worker count for pool executors; 1 = serial.
+        presolve: run the window-model presolve reductions before
+            every solve (behaviour-preserving speedup).
+        window_cache: skip windows unchanged since their last
+            fixpoint solve (behaviour-preserving speedup).
     """
 
     profile: str = "aes"
@@ -62,6 +66,8 @@ class FlowConfig:
     timing_driven: bool = False
     executor: str = "auto"
     jobs: int = 1
+    presolve: bool = True
+    window_cache: bool = True
 
     def resolved_params(self, tech: Technology) -> OptParams:
         if self.params is not None:
@@ -149,6 +155,8 @@ def run_flow(config: FlowConfig) -> FlowResult:
                 params,
                 executor=executor,
                 telemetry=telemetry,
+                presolve=config.presolve,
+                window_cache=config.window_cache,
             )
             result.telemetry = telemetry
         final_router = DetailedRouter(design, config.router)

@@ -11,10 +11,15 @@ provides:
 * :class:`BranchBoundBackend` — a pure-Python branch-and-bound solver
   over HiGHS LP relaxations, used to cross-check HiGHS on small models
   and as a fallback.
+* :func:`presolve` / :func:`extract` — the window-tuned structural
+  reductions and the shared ``Model`` -> sparse-array conversion both
+  backends solve through.
 """
 
 from repro.milp.model import Constraint, LinExpr, Model, Sense, Var
 from repro.milp.solution import Solution, SolveStatus
+from repro.milp.extract import ModelArrays, extract
+from repro.milp.presolve import PresolveResult, PresolveStats, presolve
 from repro.milp.highs_backend import HighsBackend
 from repro.milp.branch_bound import BranchBoundBackend
 
@@ -26,6 +31,11 @@ __all__ = [
     "Sense",
     "Solution",
     "SolveStatus",
+    "ModelArrays",
+    "extract",
+    "PresolveResult",
+    "PresolveStats",
+    "presolve",
     "HighsBackend",
     "BranchBoundBackend",
 ]

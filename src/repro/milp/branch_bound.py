@@ -13,10 +13,10 @@ import heapq
 import time
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import linprog
 
-from repro.milp.model import Model, Sense
+from repro.milp.extract import extract
+from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
 
 _INT_TOL = 1e-6
@@ -50,38 +50,21 @@ class BranchBoundBackend:
                 objective=model.objective.const,
             )
 
-        c = np.zeros(n)
-        for idx, coef in model.objective.coefs.items():
-            c[idx] = coef
-
-        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
-        for con in model.constraints:
-            row = np.zeros(n)
-            for idx, coef in con.coefs.items():
-                row[idx] = coef
-            if con.sense is Sense.LE:
-                a_ub_rows.append(row)
-                b_ub.append(con.rhs)
-            elif con.sense is Sense.GE:
-                a_ub_rows.append(-row)
-                b_ub.append(-con.rhs)
-            else:
-                a_eq_rows.append(row)
-                b_eq.append(con.rhs)
-        a_ub = sparse.csr_matrix(np.array(a_ub_rows)) if a_ub_rows else None
-        a_eq = sparse.csr_matrix(np.array(a_eq_rows)) if a_eq_rows else None
+        arrays = extract(model)
+        c = arrays.c
+        a_ub, b_ub, a_eq, b_eq = arrays.inequality_form()
 
         int_indices = [i for i, v in enumerate(model.vars) if v.is_integer]
-        base_lb = np.array([v.lb for v in model.vars])
-        base_ub = np.array([v.ub for v in model.vars])
+        base_lb = arrays.lb
+        base_ub = arrays.ub
 
         def relax(lb: np.ndarray, ub: np.ndarray):
             res = linprog(
                 c,
                 A_ub=a_ub,
-                b_ub=np.array(b_ub) if b_ub else None,
+                b_ub=b_ub,
                 A_eq=a_eq,
-                b_eq=np.array(b_eq) if b_eq else None,
+                b_eq=b_eq,
                 bounds=np.column_stack([lb, ub]),
                 method="highs",
             )
@@ -91,6 +74,22 @@ class BranchBoundBackend:
         incumbent_obj = float("inf")
         explored = 0
         truncated = False
+
+        # Warm start: complete a known-feasible integer assignment
+        # into an incumbent before search begins, so best-bound
+        # pruning bites from node 0.  The window formulation supplies
+        # the always-feasible identity placement.
+        if model.warm_start:
+            warm_lb = base_lb.copy()
+            warm_ub = base_ub.copy()
+            for idx, val in model.warm_start.items():
+                warm_lb[idx] = warm_ub[idx] = val
+            warm = relax(warm_lb, warm_ub)
+            if warm.status == 0 and self._most_fractional(
+                warm.x, int_indices
+            )[0] is None:
+                incumbent_obj = warm.fun
+                incumbent_x = warm.x
 
         root = relax(base_lb, base_ub)
         if root.status == 2:

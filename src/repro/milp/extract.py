@@ -1,0 +1,150 @@
+"""Shared sparse extraction: ``Model`` -> solver-ready arrays.
+
+Both MILP backends need the same conversion — objective vector,
+integrality mask, variable bounds and the constraint matrix — and both
+used to build it independently (branch-and-bound even materialized a
+dense ``np.zeros(n)`` row per constraint, an O(n·m) build that dwarfed
+the solve on small windows).  :func:`extract` performs the conversion
+once, from COO triplets straight into CSR, and the result can be viewed
+either as a two-sided range constraint (``lo <= A x <= hi``, the form
+``scipy.optimize.milp`` wants) or split into inequality/equality blocks
+(``A_ub x <= b_ub``, ``A_eq x == b_eq``, the form ``linprog`` wants)
+without another pass over the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.milp.model import Model, Sense
+
+
+@dataclass
+class ModelArrays:
+    """Array form of a :class:`~repro.milp.model.Model`.
+
+    Attributes:
+        c: objective coefficient vector (length ``n``).
+        integrality: 1 where the variable is integer, else 0.
+        lb/ub: variable bound vectors.
+        a: constraint matrix in CSR form (``m x n``), or None when the
+            model has no constraints.
+        lo/hi: row activity range — ``lo[r] <= (A x)[r] <= hi[r]``.
+            ``LE`` rows have ``lo = -inf``, ``GE`` rows ``hi = +inf``
+            and ``EQ`` rows ``lo == hi``.
+    """
+
+    c: np.ndarray
+    integrality: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    a: sparse.csr_matrix | None
+    lo: np.ndarray
+    hi: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.c)
+
+    def inequality_form(
+        self,
+    ) -> tuple[
+        sparse.csr_matrix | None,
+        np.ndarray | None,
+        sparse.csr_matrix | None,
+        np.ndarray | None,
+    ]:
+        """Split rows into ``(A_ub, b_ub, A_eq, b_eq)`` blocks.
+
+        ``GE`` rows are negated into ``LE`` form.  Row selection and
+        negation happen in CSR — no densification.
+        """
+        if self.a is None:
+            return None, None, None, None
+        is_eq = np.isfinite(self.lo) & np.isfinite(self.hi)
+        # Among non-EQ rows: GE rows (finite lo) must be negated.
+        eq_idx = np.flatnonzero(is_eq)
+        le_idx = np.flatnonzero(~is_eq & np.isfinite(self.hi))
+        ge_idx = np.flatnonzero(~is_eq & np.isfinite(self.lo))
+
+        a_eq = b_eq = a_ub = b_ub = None
+        if eq_idx.size:
+            a_eq = self.a[eq_idx]
+            b_eq = self.hi[eq_idx]
+        if le_idx.size or ge_idx.size:
+            blocks = []
+            rhs = []
+            if le_idx.size:
+                blocks.append(self.a[le_idx])
+                rhs.append(self.hi[le_idx])
+            if ge_idx.size:
+                blocks.append(-self.a[ge_idx])
+                rhs.append(-self.lo[ge_idx])
+            a_ub = sparse.vstack(blocks, format="csr")
+            b_ub = np.concatenate(rhs)
+        return a_ub, b_ub, a_eq, b_eq
+
+
+def extract(model: Model) -> ModelArrays:
+    """Convert ``model`` into :class:`ModelArrays` (one pass, sparse)."""
+    n = len(model.vars)
+    c = np.zeros(n)
+    for idx, coef in model.objective.coefs.items():
+        c[idx] = coef
+    integrality = np.fromiter(
+        (1 if v.is_integer else 0 for v in model.vars),
+        dtype=np.int64,
+        count=n,
+    )
+    lb = np.fromiter(
+        (v.lb for v in model.vars), dtype=np.float64, count=n
+    )
+    ub = np.fromiter(
+        (v.ub for v in model.vars), dtype=np.float64, count=n
+    )
+
+    m = len(model.constraints)
+    if m == 0:
+        return ModelArrays(
+            c=c,
+            integrality=integrality,
+            lb=lb,
+            ub=ub,
+            a=None,
+            lo=np.empty(0),
+            hi=np.empty(0),
+        )
+
+    # Constraints are visited in row order, so the CSR index pointer
+    # can be built directly — no COO intermediate, no sort.
+    cols: list[int] = []
+    data: list[float] = []
+    indptr = np.empty(m + 1, dtype=np.int64)
+    indptr[0] = 0
+    lo = np.full(m, -np.inf)
+    hi = np.full(m, np.inf)
+    for r, con in enumerate(model.constraints):
+        coefs = con.coefs
+        cols.extend(coefs.keys())
+        data.extend(coefs.values())
+        indptr[r + 1] = indptr[r] + len(coefs)
+        if con.sense is Sense.LE:
+            hi[r] = con.rhs
+        elif con.sense is Sense.GE:
+            lo[r] = con.rhs
+        else:
+            lo[r] = hi[r] = con.rhs
+    a = sparse.csr_matrix(
+        (
+            np.asarray(data, dtype=np.float64),
+            np.asarray(cols, dtype=np.int64),
+            indptr,
+        ),
+        shape=(m, n),
+    )
+    return ModelArrays(
+        c=c, integrality=integrality, lb=lb, ub=ub, a=a, lo=lo, hi=hi
+    )

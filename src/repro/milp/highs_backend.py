@@ -5,11 +5,28 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.milp.model import Model, Sense
+from repro.milp.extract import extract
+from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
+
+# ``scipy.optimize.milp`` re-validates every argument and rebuilds the
+# constraint matrix per call; on the window-solve hot path that glue is
+# measurable next to the solve itself.  When SciPy's internal HiGHS
+# wrapper is importable we hand it our CSC arrays directly and map the
+# status the same way ``milp`` does; otherwise (or on any API drift)
+# the public ``milp`` entry point is used unchanged.
+try:  # pragma: no cover - exercised implicitly on this SciPy
+    from scipy.optimize._highspy._highs_wrapper import (
+        _highs_wrapper,
+    )
+    from scipy.optimize._linprog_highs import (
+        _highs_to_scipy_status_message,
+    )
+except ImportError:  # pragma: no cover - future SciPy layouts
+    _highs_wrapper = None
+    _highs_to_scipy_status_message = None
 
 _STATUS_MAP = {
     0: SolveStatus.OPTIMAL,
@@ -29,6 +46,13 @@ class HighsBackend:
             status ``FEASIBLE`` — matching how the paper's flow would
             use CPLEX with a deterministic time limit per window.
         mip_rel_gap: relative optimality gap at which to stop.
+        native_presolve: whether HiGHS runs its own presolve.  True /
+            False force it; None (default) keeps it on except for
+            models already reduced by :mod:`repro.milp.presolve` that
+            exceed the binary-count threshold — there the reductions
+            did the structural work and HiGHS' own pass is measured
+            overhead.  The choice is a function of the model alone,
+            so parallel and serial runs stay deterministic.
     """
 
     name = "highs"
@@ -37,86 +61,105 @@ class HighsBackend:
         self,
         time_limit: float | None = None,
         mip_rel_gap: float = 0.0,
+        native_presolve: bool | None = None,
     ) -> None:
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
+        self.native_presolve = native_presolve
 
     def solve(self, model: Model) -> Solution:
         """Solve ``model`` (minimization)."""
-        n = len(model.vars)
         started = time.perf_counter()
-        if n == 0:
+        if not model.vars:
             return Solution(
                 status=SolveStatus.OPTIMAL,
                 objective=model.objective.const,
             )
 
-        c = np.zeros(n)
-        for idx, coef in model.objective.coefs.items():
-            c[idx] = coef
-        integrality = np.array(
-            [1 if v.is_integer else 0 for v in model.vars]
-        )
-        bounds = Bounds(
-            np.array([v.lb for v in model.vars]),
-            np.array([v.ub for v in model.vars]),
-        )
-
-        constraints = None
-        if model.constraints:
-            rows: list[int] = []
-            cols: list[int] = []
-            data: list[float] = []
-            lo = np.full(len(model.constraints), -np.inf)
-            hi = np.full(len(model.constraints), np.inf)
-            for r, con in enumerate(model.constraints):
-                for idx, coef in con.coefs.items():
-                    rows.append(r)
-                    cols.append(idx)
-                    data.append(coef)
-                if con.sense is Sense.LE:
-                    hi[r] = con.rhs
-                elif con.sense is Sense.GE:
-                    lo[r] = con.rhs
-                else:
-                    lo[r] = hi[r] = con.rhs
-            matrix = sparse.csr_matrix(
-                (data, (rows, cols)), shape=(len(model.constraints), n)
-            )
-            constraints = LinearConstraint(matrix, lo, hi)
+        arrays = extract(model)
 
         options: dict = {"mip_rel_gap": self.mip_rel_gap}
         if self.time_limit is not None:
             options["time_limit"] = self.time_limit
+        native = self.native_presolve
+        if native is None:
+            if getattr(model, "presolved", False):
+                from repro.milp.presolve import (
+                    recommend_native_presolve,
+                )
 
-        result = milp(
-            c,
-            constraints=constraints,
-            integrality=integrality,
-            bounds=bounds,
-            options=options,
-        )
+                native = recommend_native_presolve(model)
+            else:
+                native = True
+        if not native:
+            options["presolve"] = False
+
+        if _highs_wrapper is not None and arrays.a is not None:
+            csc = arrays.a.tocsc()
+            highs_res = _highs_wrapper(
+                arrays.c,
+                csc.indptr,
+                csc.indices,
+                csc.data,
+                arrays.lo,
+                arrays.hi,
+                arrays.lb,
+                arrays.ub,
+                arrays.integrality.astype(np.uint8),
+                {
+                    "log_to_console": False,
+                    "mip_max_nodes": None,
+                    **options,
+                },
+            )
+            result_status, result_message = (
+                _highs_to_scipy_status_message(
+                    highs_res.get("status"),
+                    highs_res.get("message"),
+                )
+            )
+            result_x = highs_res.get("x")
+        else:
+            constraints = None
+            if arrays.a is not None:
+                constraints = LinearConstraint(
+                    arrays.a, arrays.lo, arrays.hi
+                )
+            result = milp(
+                arrays.c,
+                constraints=constraints,
+                integrality=arrays.integrality,
+                bounds=Bounds(arrays.lb, arrays.ub),
+                options=options,
+            )
+            result_status = result.status
+            result_message = result.message
+            result_x = result.x
         elapsed = time.perf_counter() - started
 
-        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
-        if status.has_solution and result.x is None:
+        status = _STATUS_MAP.get(result_status, SolveStatus.ERROR)
+        if status.has_solution and result_x is None:
             status = SolveStatus.ERROR
-        if not status.has_solution or result.x is None:
+        if not status.has_solution or result_x is None:
             return Solution(
                 status=status,
                 solve_seconds=elapsed,
-                message=str(result.message),
+                message=str(result_message),
             )
 
-        values = {
-            i: (round(x) if model.vars[i].is_integer else float(x))
-            for i, x in enumerate(result.x)
-        }
+        # Integer variables snap to the nearest integer in one
+        # vectorized pass; a per-variable round() was measurable on
+        # the window-solve hot path.
+        xs = np.asarray(result_x, dtype=np.float64)
+        snapped = np.where(
+            arrays.integrality == 1, np.rint(xs), xs
+        )
+        values = dict(enumerate(snapped.tolist()))
         objective = model.objective.value(values)
         return Solution(
             status=status,
             objective=objective,
             values=values,
             solve_seconds=elapsed,
-            message=str(result.message),
+            message=str(result_message),
         )

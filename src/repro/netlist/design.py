@@ -198,11 +198,17 @@ class Design:
     def instances_in(self, region: Rect) -> list[Instance]:
         """Instances whose bbox lies fully inside ``region``, sorted by
         name for determinism."""
-        return [
+        xlo, ylo, xhi, yhi = region.xlo, region.ylo, region.xhi, region.yhi
+        matches = [
             inst
-            for name, inst in sorted(self.instances.items())
-            if region.contains_rect(inst.bbox)
+            for inst in self.instances.values()
+            if xlo <= inst.x
+            and ylo <= inst.y
+            and inst.x + inst.width <= xhi
+            and inst.y + inst.height <= yhi
         ]
+        matches.sort(key=lambda inst: inst.name)
+        return matches
 
     def nets_of_instances(self, names: set[str]) -> list[Net]:
         """All nets touching any instance in ``names`` (sorted)."""

@@ -36,6 +36,7 @@ class SolverSpec:
     backend: str = "highs"
     time_limit: float | None = None
     mip_rel_gap: float = 0.0
+    native_presolve: bool | None = None
     instance: object | None = None
 
     @classmethod
@@ -49,6 +50,7 @@ class SolverSpec:
                 backend="highs",
                 time_limit=solver.time_limit,
                 mip_rel_gap=solver.mip_rel_gap,
+                native_presolve=solver.native_presolve,
             )
         if isinstance(solver, BranchBoundBackend):
             return cls(
@@ -68,6 +70,7 @@ class SolverSpec:
             return HighsBackend(
                 time_limit=self.time_limit,
                 mip_rel_gap=self.mip_rel_gap,
+                native_presolve=self.native_presolve,
             )
         if self.backend == "branch_bound":
             from repro.milp.branch_bound import BranchBoundBackend
@@ -83,6 +86,7 @@ class WindowTaskResult:
     task_id: int
     solution: Solution | None = None
     solve_seconds: float = 0.0
+    presolve_seconds: float = 0.0
     queue_seconds: float = 0.0
     attempts: int = 1
     timed_out: bool = False
@@ -113,6 +117,9 @@ class WindowTask:
         nets: names of the window's touched nets (metadata only).
         num_movable: movable cell count (metadata only).
         num_pairs: candidate dM1 pin pairs in the model (metadata).
+        presolve: run :func:`repro.milp.presolve.presolve` on the
+            model inside the worker (and lift the solution back), so
+            the reduction cost parallelizes with the solves.
     """
 
     task_id: int
@@ -124,6 +131,7 @@ class WindowTask:
     nets: tuple[str, ...] = ()
     num_movable: int = 0
     num_pairs: int = 0
+    presolve: bool = True
 
     @classmethod
     def from_problem(
@@ -133,6 +141,7 @@ class WindowTask:
         task_id: int,
         family: int,
         solver: SolverSpec,
+        presolve: bool = True,
     ) -> "WindowTask":
         """Extract the shippable part of a built window problem."""
         return cls(
@@ -145,6 +154,7 @@ class WindowTask:
             nets=tuple(problem.nets),
             num_movable=len(problem.movable),
             num_pairs=problem.num_pairs,
+            presolve=presolve,
         )
 
     def run(self) -> WindowTaskResult:
@@ -153,19 +163,34 @@ class WindowTask:
         Runs inside the worker (process, thread, or inline for the
         serial executor).  Solver exceptions and ``ERROR`` statuses are
         folded into ``WindowTaskResult.error`` so the scheduler can
-        decide whether to retry.
+        decide whether to retry.  Solutions of a presolved model are
+        lifted back to the original variable space before they cross
+        the boundary — the parent only ever sees original indices.
         """
         started = time.perf_counter()
+        presolve_seconds = 0.0
         try:
             backend = self.solver.build()
-            solution = backend.solve(self.model)
+            model = self.model
+            reduction = None
+            if self.presolve:
+                from repro.milp.presolve import presolve as _presolve
+
+                t0 = time.perf_counter()
+                reduction = _presolve(model)
+                presolve_seconds = time.perf_counter() - t0
+                model = reduction.model
+            solution = backend.solve(model)
+            if reduction is not None:
+                solution = reduction.lift(solution)
         except Exception as exc:  # noqa: BLE001 — worker boundary
             return WindowTaskResult(
                 task_id=self.task_id,
                 solve_seconds=time.perf_counter() - started,
+                presolve_seconds=presolve_seconds,
                 error=f"{type(exc).__name__}: {exc}",
             )
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started - presolve_seconds
         error = ""
         timed_out = False
         if solution.status is SolveStatus.ERROR:
@@ -178,6 +203,7 @@ class WindowTask:
             task_id=self.task_id,
             solution=solution,
             solve_seconds=elapsed,
+            presolve_seconds=presolve_seconds,
             timed_out=timed_out,
             error=error,
         )

@@ -22,7 +22,10 @@ from pathlib import Path
 logger = logging.getLogger("repro.runtime")
 
 #: JSON schema identifier written into every telemetry document.
-TELEMETRY_SCHEMA = "repro.runtime.telemetry/v1"
+#: v2 adds the presolve share of each window's time split, the
+#: ``cached`` window status, and the cross-pass window-cache section
+#: (hits / misses / hit rate, per pass and run-wide).
+TELEMETRY_SCHEMA = "repro.runtime.telemetry/v2"
 
 
 @dataclass
@@ -35,10 +38,11 @@ class WindowRecord:
     iy: int
     build_seconds: float = 0.0
     queue_seconds: float = 0.0
+    presolve_seconds: float = 0.0
     solve_seconds: float = 0.0
     status: str = "skipped"  # applied | reverted | no_move |
     #                          no_solution | failed | timed_out |
-    #                          skipped
+    #                          skipped | cached
     attempts: int = 0
     moved_cells: int = 0
     num_pairs: int = 0
@@ -94,11 +98,15 @@ class RunTelemetry:
         applied: int,
         failed: int,
         timed_out: int,
+        presolve_seconds: float = 0.0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
     ) -> None:
         entry = {
             "label": label,
             "wall_seconds": wall_seconds,
             "build_seconds": build_seconds,
+            "presolve_seconds": presolve_seconds,
             "solve_seconds": solve_seconds,
             "measured_parallel_seconds": measured_parallel_seconds,
             "modeled_parallel_seconds": modeled_parallel_seconds,
@@ -106,14 +114,16 @@ class RunTelemetry:
             "applied": applied,
             "failed": failed,
             "timed_out": timed_out,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
         }
         self.passes.append(entry)
         logger.info(
             "pass %s: %d windows (%d applied, %d failed, %d timed "
-            "out) wall=%.2fs solve=%.2fs parallel measured=%.2fs "
-            "modeled=%.2fs [%s x%d]",
-            label, windows, applied, failed, timed_out, wall_seconds,
-            solve_seconds, measured_parallel_seconds,
+            "out, %d cached) wall=%.2fs solve=%.2fs parallel "
+            "measured=%.2fs modeled=%.2fs [%s x%d]",
+            label, windows, applied, failed, timed_out, cache_hits,
+            wall_seconds, solve_seconds, measured_parallel_seconds,
             modeled_parallel_seconds, self.executor, self.jobs,
         )
 
@@ -122,14 +132,20 @@ class RunTelemetry:
         return sum(1 for r in self.records if r.status == status)
 
     def summary(self) -> dict:
-        """The telemetry JSON document (schema v1)."""
+        """The telemetry JSON document (schema v2)."""
         build = sum(r.build_seconds for r in self.records)
+        presolve = sum(r.presolve_seconds for r in self.records)
         solve = sum(r.solve_seconds for r in self.records)
         queue = sum(r.queue_seconds for r in self.records)
         measured = sum(
             p["measured_parallel_seconds"] for p in self.passes
         )
         modeled = modeled_parallel_seconds(self.records)
+        cache_hits = sum(p.get("cache_hits", 0) for p in self.passes)
+        cache_misses = sum(
+            p.get("cache_misses", 0) for p in self.passes
+        )
+        cache_total = cache_hits + cache_misses
         return {
             "schema": TELEMETRY_SCHEMA,
             "executor": self.executor,
@@ -142,14 +158,23 @@ class RunTelemetry:
                 "no_solution": self._count("no_solution"),
                 "failed": self._count("failed"),
                 "timed_out": self._count("timed_out"),
+                "cached": self._count("cached"),
             },
             "seconds": {
                 "wall": self.wall_seconds,
                 "build": build,
+                "presolve": presolve,
                 "solve": solve,
                 "queue_wait": queue,
                 "measured_parallel": measured,
                 "modeled_parallel": modeled,
+            },
+            "cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": (
+                    cache_hits / cache_total if cache_total else 0.0
+                ),
             },
             "speedup": {
                 # serial solve work over what the engine achieved /

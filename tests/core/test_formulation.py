@@ -202,7 +202,9 @@ def test_pads_anchor_hpwl():
 
 def test_model_objective_matches_local_objective():
     """The MILP objective evaluated at its solution equals the real
-    (recomputed) local objective — no formulation drift."""
+    (recomputed) local objective up to the tie-break budget — no
+    formulation drift beyond the deliberate λ perturbation."""
+    from repro.core.formulation import _TIE_BREAK_BUDGET
     from repro.core.objective import calculate_objective
 
     d = make_design(CellArchitecture.CLOSED_M1, [(10, 0), (13, 1)])
@@ -213,6 +215,5 @@ def test_model_objective_matches_local_objective():
     solution = SOLVER.solve(problem.model)
     apply_solution(d, problem, solution)
     nets = [d.nets[name] for name in problem.nets]
-    assert solution.objective == pytest.approx(
-        calculate_objective(d, params, nets)
-    )
+    drift = solution.objective - calculate_objective(d, params, nets)
+    assert 0.0 <= drift < _TIE_BREAK_BUDGET

@@ -100,3 +100,53 @@ def test_covered_sites(design):
     )
     sites = list(cands[0].covered_sites(inst.macro.width_sites))
     assert sites == [(1, 10), (1, 11), (1, 12), (1, 13)]
+
+
+def test_covered_sites_precomputed_at_construction(design):
+    """Satellite: every enumerated candidate carries its site tuple so
+    the site-packing rows never recompute it per pair."""
+    inst = design.instances["u1"]
+    width = inst.macro.width_sites
+    for cand in enumerate_candidates(
+        design, inst, design.die, lx=2, ly=1, allow_flip=True
+    ):
+        assert cand.sites  # populated, not lazily derived
+        assert cand.sites == tuple(
+            (cand.row, col)
+            for col in range(cand.column, cand.column + width)
+        )
+        assert cand.covered_sites(width) is cand.sites
+
+
+def test_no_flips_when_flip_disabled(design):
+    inst = design.instances["u1"]
+    cands = enumerate_candidates(
+        design, inst, design.die, lx=3, ly=2, allow_flip=False
+    )
+    assert cands
+    assert all(not c.flipped for c in cands)
+
+
+def test_zero_perturbation_no_flip_is_exactly_identity(design):
+    inst = design.instances["u1"]
+    cands = enumerate_candidates(
+        design, inst, design.die, lx=0, ly=0, allow_flip=False
+    )
+    assert len(cands) == 1
+    only = cands[0]
+    assert (only.column, only.row, only.flipped) == (10, 1, False)
+    assert (only.x, only.y) == (inst.x, inst.y)
+
+
+def test_identity_always_first_with_perturbation(design):
+    """The identity candidate is index 0 regardless of lx/ly/flip —
+    the warm start and the presolve rely on that ordering."""
+    inst = design.instances["u1"]
+    for lx, ly, flip in [(1, 0, False), (3, 2, True), (0, 1, True)]:
+        cands = enumerate_candidates(
+            design, inst, design.die, lx=lx, ly=ly, allow_flip=flip
+        )
+        first = cands[0]
+        assert (first.column, first.row, first.flipped) == (
+            10, 1, False,
+        )

@@ -107,7 +107,10 @@ def test_summary_schema_and_save(tmp_path):
     assert summary["jobs"] == 2
     assert summary["windows"] == {
         "total": 3, "applied": 1, "reverted": 1, "no_move": 0,
-        "no_solution": 0, "failed": 1, "timed_out": 0,
+        "no_solution": 0, "failed": 1, "timed_out": 0, "cached": 0,
+    }
+    assert summary["cache"] == {
+        "hits": 0, "misses": 0, "hit_rate": 0.0,
     }
     seconds = summary["seconds"]
     assert seconds["build"] == pytest.approx(0.75)
