@@ -9,6 +9,10 @@ Subcommands:
   before/after DEF and SVG views.
 * ``repro experiment`` — run one paper experiment (fig5/fig6/fig7/
   table2/fig8) at a chosen scale preset and print the markdown table.
+* ``repro serve`` — run the durable job service (HTTP API + job
+  manager over an on-disk journal; see :mod:`repro.service`).
+* ``repro submit`` — submit a flow job to a running service.
+* ``repro jobs`` — list/inspect/cancel/watch service jobs.
 
 Run ``repro <subcommand> --help`` for options.
 """
@@ -46,6 +50,37 @@ _PRESETS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer (fails at parse time,
+    not with a traceback deep inside a worker pool)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be > 0 (got {value})"
+        )
+    return value
+
+
 def _add_common_design_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", default="aes",
@@ -57,7 +92,7 @@ def _add_common_design_args(parser: argparse.ArgumentParser) -> None:
         help="cell architecture",
     )
     parser.add_argument(
-        "--scale", type=float, default=0.05,
+        "--scale", type=_positive_float, default=0.05,
         help="instance-count scale (1.0 = paper size)",
     )
     parser.add_argument(
@@ -125,6 +160,96 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    )
+
+
+def _spec_from_args(args: argparse.Namespace) -> dict:
+    """Flow-job spec from submit's CLI options (defaults omitted so
+    the service applies its own)."""
+    spec = {
+        "profile": args.profile,
+        "arch": args.arch,
+        "scale": args.scale,
+        "utilization": args.utilization,
+        "seed": args.seed,
+        "window_um": args.window_um,
+        "lx": args.lx,
+        "ly": args.ly,
+        "time_limit": args.time_limit,
+        "executor": args.executor,
+        "jobs": args.jobs,
+    }
+    if args.no_presolve:
+        spec["presolve"] = False
+    if args.no_window_cache:
+        spec["window_cache"] = False
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        job_id = client.submit(_spec_from_args(args))
+    except ServiceError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 1
+    print(job_id)
+    if not args.wait:
+        return 0
+    record = client.wait(job_id, timeout=args.timeout)
+    if record["state"] != "done":
+        print(
+            f"job {job_id} {record['state']}: "
+            f"{record.get('error', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    row = client.result(job_id)["table2"]
+    if args.json:
+        print(json.dumps(row, indent=1, default=str))
+    else:
+        print(render_markdown_table([row]))
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job is None:
+            for record in client.jobs():
+                print(
+                    f"{record['job_id']}  {record['state']:<10} "
+                    f"attempts={record['attempts']} "
+                    f"kind={record['kind']}"
+                )
+            return 0
+        if args.cancel:
+            record = client.cancel(args.job)
+            print(f"{record['job_id']}  {record['state']}")
+            return 0
+        if args.watch:
+            for event in client.events(args.job, follow=True):
+                print(json.dumps(event))
+            return 0
+        print(json.dumps(client.status(args.job), indent=1))
+        return 0
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = _PRESETS[args.preset]()
     runners = {
@@ -166,15 +291,19 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--window-um", type=float, default=1.25)
     flow.add_argument("--lx", type=int, default=4)
     flow.add_argument("--ly", type=int, default=1)
-    flow.add_argument("--time-limit", type=float, default=4.0)
     flow.add_argument(
-        "--jobs", type=int, default=1,
-        help="window-solve workers (1 = serial)",
+        "--time-limit", type=_positive_float, default=4.0,
+        help="per-window MILP time limit in seconds",
+    )
+    flow.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="window-solve workers; must be >= 1 (1 = serial)",
     )
     flow.add_argument(
         "--executor", default="auto", choices=EXECUTOR_KINDS,
-        help="window-solve executor backend (auto: serial when "
-        "--jobs 1, else a process pool)",
+        help="window-solve executor backend; 'auto' resolves to "
+        "'serial' when --jobs is 1 and to 'process' (a process "
+        "pool with --jobs workers) otherwise",
     )
     flow.add_argument(
         "--no-presolve", action="store_true",
@@ -203,6 +332,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     expt.add_argument("--out", default="", help="JSON rows output path")
     expt.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable job service (HTTP API + job manager)",
+        description=(
+            "Serve flow jobs over HTTP with an on-disk journal. "
+            "Jobs are checkpointed every DistOpt pass; a killed "
+            "service resumes interrupted jobs on restart with a "
+            "byte-identical final placement. SIGTERM/SIGINT drain "
+            "gracefully (in-flight window solves finish, workers are "
+            "joined) and exit 128+signum."
+        ),
+    )
+    serve.add_argument(
+        "--root", default=".repro-service",
+        help="journal directory (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="concurrent jobs; window-solve parallelism is per-job "
+        "(the spec's executor/jobs)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a flow job to a running service"
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL",
+    )
+    _add_common_design_args(submit)
+    submit.add_argument("--window-um", type=float, default=1.25)
+    submit.add_argument("--lx", type=int, default=4)
+    submit.add_argument("--ly", type=int, default=1)
+    submit.add_argument(
+        "--time-limit", type=_positive_float, default=4.0,
+        help="per-window MILP time limit in seconds",
+    )
+    submit.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="window-solve workers; must be >= 1 (1 = serial)",
+    )
+    submit.add_argument(
+        "--executor", default="auto", choices=EXECUTOR_KINDS,
+        help="window-solve executor backend; 'auto' resolves to "
+        "'serial' when --jobs is 1 and to 'process' otherwise",
+    )
+    submit.add_argument("--no-presolve", action="store_true")
+    submit.add_argument("--no-window-cache", action="store_true")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its Table-2 row",
+    )
+    submit.add_argument(
+        "--timeout", type=_positive_float, default=None,
+        help="give up waiting after this many seconds",
+    )
+    submit.add_argument("--json", action="store_true")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list/inspect/cancel/watch service jobs"
+    )
+    jobs.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL",
+    )
+    jobs.add_argument(
+        "--job", default=None, help="job id (omit to list all jobs)"
+    )
+    jobs.add_argument(
+        "--cancel", action="store_true",
+        help="request cooperative cancellation of --job",
+    )
+    jobs.add_argument(
+        "--watch", action="store_true",
+        help="stream --job progress events (NDJSON) until terminal",
+    )
+    jobs.set_defaults(func=_cmd_jobs)
     return parser
 
 

@@ -14,8 +14,11 @@ placement.
 * :mod:`repro.core.distopt` — Algorithm 2 (DistOpt).
 * :mod:`repro.core.vm1opt` — Algorithm 1 (VM1Opt), the metaheuristic
   outer loop.
+* :mod:`repro.core.checkpoint` — per-pass VM1Opt checkpoints for
+  crash-safe resume (used by :mod:`repro.service`).
 """
 
+from repro.core.checkpoint import CHECKPOINT_SCHEMA, VM1Checkpoint
 from repro.core.params import OptParams, ParamSet, default_sequence
 from repro.core.scp import Candidate, enumerate_candidates
 from repro.core.window import Window, independent_families, partition
@@ -26,6 +29,8 @@ from repro.core.distopt import DistOptResult, dist_opt
 from repro.core.vm1opt import VM1OptResult, vm1_opt
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
+    "VM1Checkpoint",
     "OptParams",
     "ParamSet",
     "default_sequence",

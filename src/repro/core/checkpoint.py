@@ -1,0 +1,178 @@
+"""Crash-safe VM1Opt checkpoints (per-pass placement + cache state).
+
+A :class:`VM1Checkpoint` captures everything :func:`repro.core.vm1opt.
+vm1_opt` needs to continue after the last *completed* DistOpt pass:
+
+* the loop position — parameter-set index ``u_index``, inner
+  ``iteration``, and which ``phase`` of the iteration just finished
+  (``"move"`` or ``"flip"``) — plus the window-grid offsets ``tx/ty``
+  *before* the end-of-iteration shift;
+* the objective trail — ``pre_objective`` (objective at the top of the
+  interrupted iteration, needed for the θ convergence test),
+  ``objective`` (after the checkpointed pass), and
+  ``initial_objective`` / ``iterations`` for result bookkeeping;
+* the full placement (every instance's ``x/y/orientation``);
+* the :class:`~repro.core.windowcache.WindowSolveCache` entries, so a
+  resumed run skips exactly the windows the uninterrupted run would
+  have skipped.
+
+Every DistOpt pass is deterministic given (placement, cache, params,
+grid offsets) — PR 3's λ tie-break made solves reproducible — so a run
+resumed from a checkpoint finishes with a placement *byte-identical*
+to the uninterrupted run.  The end-of-iteration control flow (grid
+shift, θ test) is pure computation over checkpointed values and is
+simply re-executed on resume.
+
+Serialization is plain JSON; ``json`` round-trips Python floats via
+``repr`` exactly, so the θ test sees bit-identical objectives after a
+save/load cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.geometry import Orientation
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.windowcache import WindowSolveCache
+    from repro.netlist.design import Design
+
+#: Schema identifier written into every checkpoint document.
+CHECKPOINT_SCHEMA = "repro.core.checkpoint/v1"
+
+
+@dataclass
+class VM1Checkpoint:
+    """State after one completed DistOpt pass of a VM1Opt run."""
+
+    u_index: int
+    iteration: int
+    phase: str  # "move" | "flip"
+    tx: int
+    ty: int
+    pre_objective: float
+    objective: float
+    initial_objective: float
+    iterations: int
+    #: instance name -> (x, y, DEF orientation string).
+    placement: dict[str, tuple[int, int, str]]
+    #: serialized WindowSolveCache entries (see windowcache module).
+    cache_entries: list = field(default_factory=list)
+    schema: str = CHECKPOINT_SCHEMA
+
+    # ------------------------------------------------------- capture
+    @classmethod
+    def capture(
+        cls,
+        design: "Design",
+        cache: "WindowSolveCache | None",
+        *,
+        u_index: int,
+        iteration: int,
+        phase: str,
+        tx: int,
+        ty: int,
+        pre_objective: float,
+        objective: float,
+        initial_objective: float,
+        iterations: int,
+    ) -> "VM1Checkpoint":
+        """Snapshot the design placement + cache into a checkpoint."""
+        placement = {
+            name: (inst.x, inst.y, inst.orientation.value)
+            for name, inst in design.instances.items()
+        }
+        return cls(
+            u_index=u_index,
+            iteration=iteration,
+            phase=phase,
+            tx=tx,
+            ty=ty,
+            pre_objective=pre_objective,
+            objective=objective,
+            initial_objective=initial_objective,
+            iterations=iterations,
+            placement=placement,
+            cache_entries=(
+                cache.export_state() if cache is not None else []
+            ),
+        )
+
+    # ------------------------------------------------------- restore
+    def restore(
+        self, design: "Design", cache: "WindowSolveCache | None"
+    ) -> None:
+        """Write the checkpointed placement (and cache) back."""
+        for name, (x, y, orient) in self.placement.items():
+            inst = design.instances[name]
+            inst.x, inst.y = int(x), int(y)
+            inst.orientation = Orientation(orient)
+        if cache is not None and self.cache_entries:
+            cache.import_state(self.cache_entries)
+
+    # --------------------------------------------------- (de)serialize
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "u_index": self.u_index,
+            "iteration": self.iteration,
+            "phase": self.phase,
+            "tx": self.tx,
+            "ty": self.ty,
+            "pre_objective": self.pre_objective,
+            "objective": self.objective,
+            "initial_objective": self.initial_objective,
+            "iterations": self.iterations,
+            "placement": {
+                name: list(state)
+                for name, state in self.placement.items()
+            },
+            "cache": self.cache_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "VM1Checkpoint":
+        schema = doc.get("schema", "")
+        if schema != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {schema!r} "
+                f"(expected {CHECKPOINT_SCHEMA!r})"
+            )
+        return cls(
+            u_index=int(doc["u_index"]),
+            iteration=int(doc["iteration"]),
+            phase=str(doc["phase"]),
+            tx=int(doc["tx"]),
+            ty=int(doc["ty"]),
+            pre_objective=float(doc["pre_objective"]),
+            objective=float(doc["objective"]),
+            initial_objective=float(doc["initial_objective"]),
+            iterations=int(doc["iterations"]),
+            placement={
+                name: (int(x), int(y), str(orient))
+                for name, (x, y, orient) in doc["placement"].items()
+            },
+            cache_entries=list(doc.get("cache", [])),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def loads(cls, text: str) -> "VM1Checkpoint":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Persist as JSON (plain write; use a jobstore for atomicity)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VM1Checkpoint":
+        return cls.loads(Path(path).read_text())

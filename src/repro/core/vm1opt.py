@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core.checkpoint import VM1Checkpoint
 from repro.core.distopt import DistOptResult, dist_opt
 from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
@@ -67,6 +68,8 @@ def vm1_opt(
     enable_shift: bool = True,
     presolve: bool = True,
     window_cache: bool = True,
+    checkpoint_sink=None,
+    resume: VM1Checkpoint | None = None,
 ) -> VM1OptResult:
     """Run the full vertical-M1-aware detailed placement optimization.
 
@@ -94,9 +97,22 @@ def vm1_opt(
             :class:`~repro.core.windowcache.WindowSolveCache` so
             windows whose neighborhood has not changed since their
             last fixpoint solve are skipped (behaviour-preserving).
+        checkpoint_sink: optional callable invoked with a
+            :class:`~repro.core.checkpoint.VM1Checkpoint` after every
+            completed DistOpt pass (crash-safe persistence is the
+            caller's job, e.g. ``repro.service.jobstore``).
+        resume: optional :class:`~repro.core.checkpoint.VM1Checkpoint`
+            to continue from: the checkpointed placement and cache are
+            restored and every pass up to and including the
+            checkpointed one is skipped.  Passes are deterministic, so
+            the resumed run finishes with a placement byte-identical
+            to the uninterrupted run.
 
     Returns:
         A :class:`VM1OptResult` with objective history and timing.
+        On ``resume``, timing aggregates and ``passes`` cover only the
+        work done after the checkpoint; ``iterations`` continues the
+        checkpointed count.
     """
     cache = WindowSolveCache() if window_cache else None
     if solver is None:
@@ -108,43 +124,97 @@ def vm1_opt(
         executor = SerialExecutor()
     started = time.perf_counter()
     tech = design.tech
-    initial = calculate_objective(design, params)
-    result = VM1OptResult(
-        initial_objective=initial, final_objective=initial
-    )
 
-    tx = ty = 0
-    objective = initial
+    resume_u = resume_iter = -1
+    resume_phase = ""
+    if resume is not None:
+        resume.restore(design, cache)
+        initial = resume.initial_objective
+        objective = resume.objective
+        tx, ty = resume.tx, resume.ty
+        resume_u = resume.u_index
+        resume_iter = resume.iteration
+        resume_phase = resume.phase
+    else:
+        initial = calculate_objective(design, params)
+        objective = initial
+        tx = ty = 0
+    result = VM1OptResult(
+        initial_objective=initial, final_objective=objective
+    )
+    if resume is not None:
+        result.iterations = resume.iterations
+
+    def _checkpoint(
+        u_index: int, iteration: int, phase: str, pre: float
+    ) -> None:
+        if checkpoint_sink is None:
+            return
+        checkpoint_sink(
+            VM1Checkpoint.capture(
+                design,
+                cache,
+                u_index=u_index,
+                iteration=iteration,
+                phase=phase,
+                tx=tx,
+                ty=ty,
+                pre_objective=pre,
+                objective=objective,
+                initial_objective=initial,
+                iterations=result.iterations,
+            )
+        )
+
     try:
         for u_index, u in enumerate(params.sequence):
+            if u_index < resume_u:
+                continue
             bw = max(tech.site_width, tech.dbu(u.bw_um))
             bh = max(tech.row_height, tech.dbu(u.bh_um))
             for iteration in range(_MAX_INNER_ITERATIONS):
-                pre = objective
-                label = f"u{u_index}.i{iteration}"
-                move_pass = dist_opt(
-                    design,
-                    params,
-                    tx=tx,
-                    ty=ty,
-                    bw=bw,
-                    bh=bh,
-                    lx=u.lx,
-                    ly=u.ly,
-                    allow_flip=False,
-                    solver=solver,
-                    executor=executor,
-                    schedule=schedule,
-                    telemetry=telemetry,
-                    pass_label=f"move[{label}]",
-                    presolve=presolve,
-                    cache=cache,
+                if u_index == resume_u and iteration < resume_iter:
+                    continue
+                # At the exact resume point, skip the pass(es) the
+                # checkpoint already covers; the end-of-iteration
+                # control flow below re-runs on checkpointed values.
+                at_resume = (
+                    u_index == resume_u and iteration == resume_iter
                 )
-                _absorb(result, move_pass)
-                if progress is not None:
-                    progress("move", move_pass)
-                objective = move_pass.objective
-                if enable_flip:
+                skip_move = at_resume and resume_phase in (
+                    "move",
+                    "flip",
+                )
+                skip_flip = at_resume and resume_phase == "flip"
+                pre = (
+                    resume.pre_objective if skip_move else objective
+                )
+                label = f"u{u_index}.i{iteration}"
+                if not skip_move:
+                    move_pass = dist_opt(
+                        design,
+                        params,
+                        tx=tx,
+                        ty=ty,
+                        bw=bw,
+                        bh=bh,
+                        lx=u.lx,
+                        ly=u.ly,
+                        allow_flip=False,
+                        solver=solver,
+                        executor=executor,
+                        schedule=schedule,
+                        telemetry=telemetry,
+                        pass_label=f"move[{label}]",
+                        presolve=presolve,
+                        cache=cache,
+                    )
+                    _absorb(result, move_pass)
+                    objective = move_pass.objective
+                    _checkpoint(u_index, iteration, "move", pre)
+                    if progress is not None:
+                        progress("move", move_pass)
+                if enable_flip and not skip_flip:
                     flip_pass = dist_opt(
                         design,
                         params,
@@ -164,9 +234,10 @@ def vm1_opt(
                         cache=cache,
                     )
                     _absorb(result, flip_pass)
+                    objective = flip_pass.objective
+                    _checkpoint(u_index, iteration, "flip", pre)
                     if progress is not None:
                         progress("flip", flip_pass)
-                    objective = flip_pass.objective
                 result.iterations += 1
                 if enable_shift:
                     # Shift the window grid so last iteration's

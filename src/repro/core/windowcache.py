@@ -107,6 +107,35 @@ class WindowSolveCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # ------------------------------------------------ checkpoint state
+    def export_state(self) -> list:
+        """JSON-serializable snapshot of the cache entries.
+
+        Counters (hits/misses/stores) are *not* exported — they are
+        per-run observability, not solver state.
+        """
+        return [
+            [list(key), content.hex()]
+            for key, content in sorted(self._entries.items())
+        ]
+
+    def import_state(self, state: list) -> None:
+        """Replace the entries with a snapshot from
+        :meth:`export_state` (e.g. out of a resumed checkpoint)."""
+        entries: dict[CacheKey, bytes] = {}
+        for raw_key, content_hex in state:
+            key: CacheKey = (
+                int(raw_key[0]),
+                int(raw_key[1]),
+                int(raw_key[2]),
+                int(raw_key[3]),
+                int(raw_key[4]),
+                int(raw_key[5]),
+                bool(raw_key[6]),
+            )
+            entries[key] = bytes.fromhex(content_hex)
+        self._entries = entries
+
     @staticmethod
     def signature(design: Design, window: Window) -> bytes:
         """Content hash of everything the window build reads."""

@@ -104,8 +104,37 @@ class FlowResult:
         return len(self.design.instances)
 
 
-def run_flow(config: FlowConfig) -> FlowResult:
-    """Run the complete flow described by ``config``."""
+def run_flow(
+    config: FlowConfig,
+    *,
+    progress=None,
+    checkpoint_sink=None,
+    resume=None,
+) -> FlowResult:
+    """Run the complete flow described by ``config``.
+
+    Args:
+        config: flow configuration.
+        progress: optional callable ``(stage, info)`` invoked at stage
+            boundaries (``generate`` / ``place`` / ``route_init`` /
+            ``route_final``) and after every DistOpt pass (stage
+            ``pass``, with the pass's ``repro.runtime.telemetry/v2``
+            entry as ``info``).  A ``progress`` callback may raise to
+            abort the run cooperatively (the service uses this for
+            cancellation and graceful shutdown); the raise happens
+            *after* the pass checkpoint was handed to
+            ``checkpoint_sink``, so the abort point is always
+            resumable.
+        checkpoint_sink: optional callable receiving a
+            :class:`~repro.core.checkpoint.VM1Checkpoint` after every
+            completed DistOpt pass.
+        resume: optional checkpoint to continue from.  Generation,
+            placement, and the initial route re-run (they are
+            deterministic in ``config.seed``); the optimizer then
+            restores the checkpointed placement and skips every
+            already-completed pass, finishing with a placement
+            byte-identical to an uninterrupted run.
+    """
     started = time.perf_counter()
     tech = make_tech(config.arch)
     library = build_library(tech)
@@ -117,14 +146,34 @@ def run_flow(config: FlowConfig) -> FlowResult:
         utilization=config.utilization,
         seed=config.seed,
     )
+    if progress is not None:
+        progress(
+            "generate",
+            {
+                "design": design.name,
+                "instances": len(design.instances),
+                "nets": len(design.nets),
+            },
+        )
     t_place = time.perf_counter()
     place_design(design, seed=config.seed)
     place_seconds = time.perf_counter() - t_place
+    if progress is not None:
+        progress("place", {"seconds": place_seconds})
 
     router = DetailedRouter(design, config.router)
     init_route = router.route()
     init_timing = analyze_timing(design, init_route.net_lengths)
     init_power = estimate_power(design, init_route.net_lengths)
+    if progress is not None:
+        progress(
+            "route_init",
+            {
+                "num_drvs": init_route.num_drvs,
+                "hpwl": init_route.hpwl,
+                "num_dm1": init_route.num_dm1,
+            },
+        )
 
     result = FlowResult(
         config=config,
@@ -150,13 +199,28 @@ def run_flow(config: FlowConfig) -> FlowResult:
             telemetry = RunTelemetry(
                 executor=executor.name, jobs=executor.jobs
             )
+            vm1_progress = None
+            if progress is not None:
+
+                def vm1_progress(kind, pass_result):
+                    entry = (
+                        dict(telemetry.passes[-1])
+                        if telemetry.passes
+                        else {}
+                    )
+                    entry["kind"] = kind
+                    progress("pass", entry)
+
             result.opt = vm1_opt(
                 design,
                 params,
                 executor=executor,
                 telemetry=telemetry,
+                progress=vm1_progress,
                 presolve=config.presolve,
                 window_cache=config.window_cache,
+                checkpoint_sink=checkpoint_sink,
+                resume=resume,
             )
             result.telemetry = telemetry
         final_router = DetailedRouter(design, config.router)
@@ -169,6 +233,15 @@ def run_flow(config: FlowConfig) -> FlowResult:
         result.final_power = estimate_power(
             design, result.final_route.net_lengths
         )
+        if progress is not None:
+            progress(
+                "route_final",
+                {
+                    "num_drvs": result.final_route.num_drvs,
+                    "hpwl": result.final_route.hpwl,
+                    "num_dm1": result.final_route.num_dm1,
+                },
+            )
     result.total_seconds = time.perf_counter() - started
     return result
 

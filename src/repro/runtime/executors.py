@@ -45,13 +45,27 @@ class Executor:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release worker resources; idempotent."""
+        """Release worker resources without waiting; idempotent."""
+
+    def drain(self) -> None:
+        """Graceful teardown: let in-flight tasks finish, discard
+        queued work, and join every worker before returning.
+
+        This is the SIGTERM/SIGINT path — after a drain no worker
+        thread or process is left behind, so the owning process can
+        exit nonzero without orphaning children.  Idempotent.
+        """
+        self.close()
 
     def __enter__(self) -> "Executor":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        # Context exit drains rather than closes: on the normal path
+        # all tasks are already done (drain == close); on an abort
+        # (cooperative cancel / SIGTERM between passes) in-flight
+        # solves finish and workers are joined, never orphaned.
+        self.drain()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(jobs={self.jobs})"
@@ -95,6 +109,9 @@ class ThreadExecutor(Executor):
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
+    def drain(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
 
 class MultiprocessExecutor(Executor):
     """Process-pool executor; tasks/results cross via pickle."""
@@ -110,6 +127,9 @@ class MultiprocessExecutor(Executor):
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def drain(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 def make_executor(kind: str = "auto", jobs: int = 1) -> Executor:

@@ -1,0 +1,152 @@
+"""Thin stdlib client for the job service HTTP API.
+
+>>> client = ServiceClient("http://127.0.0.1:8765")
+>>> job_id = client.submit({"profile": "aes", "scale": 0.02})
+>>> record = client.wait(job_id, timeout=120)
+>>> row = client.result(job_id)["table2"]
+
+Only ``urllib.request`` is used — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Synchronous client bound to one service base URL."""
+
+    def __init__(
+        self, base_url: str, *, timeout: float = 30.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------- plumbing
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        raw: bool = False,
+        timeout: float | None = None,
+    ):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers=headers,
+            method=method,
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            )
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(exc.code, detail) from None
+        with response:
+            payload = response.read()
+        if raw:
+            return payload.decode()
+        return json.loads(payload) if payload else {}
+
+    # ------------------------------------------------------------- api
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics", raw=True)
+
+    def submit(self, spec: dict, *, kind: str = "flow") -> str:
+        """Submit a job; returns the job id."""
+        record = self._request(
+            "POST", "/api/jobs", {"kind": kind, "spec": spec}
+        )
+        return record["job_id"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/api/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}/result")
+
+    def telemetry(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}/telemetry")
+
+    def artifact(self, job_id: str, name: str) -> str:
+        return self._request(
+            "GET", f"/api/jobs/{job_id}/artifacts/{name}", raw=True
+        )
+
+    def events(
+        self, job_id: str, *, follow: bool = False
+    ) -> Iterator[dict]:
+        """Yield progress events; with ``follow`` streams until the
+        job reaches a terminal state."""
+        suffix = "?follow=1" if follow else ""
+        request = urllib.request.Request(
+            f"{self.base_url}/api/jobs/{job_id}/events{suffix}"
+        )
+        # No read timeout while following: the stream is open-ended.
+        timeout = None if follow else self.timeout
+        with urllib.request.urlopen(
+            request, timeout=timeout
+        ) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final record; raises ``TimeoutError`` if the
+        deadline passes first.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll)

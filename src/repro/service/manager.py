@@ -1,0 +1,331 @@
+"""Job manager: claims queued jobs and runs them through the flow.
+
+A :class:`JobManager` owns a small pool of worker *threads* (the
+concurrency cap); each worker claims the oldest queued job from the
+:class:`~repro.service.jobstore.JobStore` and executes it with
+:func:`repro.flow.run_flow`.  Window-level parallelism stays inside
+the job — each flow gets its own :mod:`repro.runtime` executor as
+configured by the job spec (``executor`` / ``jobs``), so the service's
+total worker budget is ``manager workers x per-job solver jobs``.
+
+Cooperative control points
+--------------------------
+The flow calls back into the manager after every DistOpt pass (via
+``run_flow(progress=...)``), *after* that pass's checkpoint hit the
+jobstore.  At that point the manager:
+
+* appends a progress event lifted from the pass's
+  ``repro.runtime.telemetry/v2`` entry;
+* raises :class:`JobCancelled` if the job's cancel flag is set
+  (job -> ``cancelled``);
+* raises :class:`ServiceShutdown` if the service is draining after
+  SIGTERM/SIGINT (job -> back to ``queued`` with its checkpoint, so
+  the next service start resumes it).
+
+Either raise unwinds through ``run_flow``'s executor context, which
+*drains* the window-solve pool — in-flight solves finish and every
+worker process/thread is joined before the job thread returns, so a
+graceful shutdown never orphans workers.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import traceback
+
+from repro.flow import FlowConfig, run_flow, table2_row
+from repro.lefdef import write_def
+from repro.runtime import EXECUTOR_KINDS
+from repro.service.jobstore import JobRecord, JobState, JobStore
+from repro.tech import CellArchitecture
+
+logger = logging.getLogger("repro.service")
+
+#: Result document schema.
+RESULT_SCHEMA = "repro.service.result/v1"
+
+
+class JobCancelled(Exception):
+    """Raised inside a job thread when its cancel flag is set."""
+
+
+class ServiceShutdown(Exception):
+    """Raised inside a job thread when the service is draining."""
+
+
+#: spec key -> (coercion, default) for flow jobs.  ``None`` default =
+#: use the FlowConfig default.
+_FLOW_SPEC_FIELDS = {
+    "profile": str,
+    "arch": str,
+    "scale": float,
+    "utilization": float,
+    "seed": int,
+    "window_um": float,
+    "lx": int,
+    "ly": int,
+    "time_limit": float,
+    "executor": str,
+    "jobs": int,
+    "presolve": bool,
+    "window_cache": bool,
+    "timing_driven": bool,
+}
+
+_PROFILES = ("m0", "aes", "jpeg", "vga")
+
+
+def flow_config_from_spec(spec: dict) -> FlowConfig:
+    """Validate a job spec and build the :class:`FlowConfig`.
+
+    Raises ``ValueError`` with a submission-quality message on any
+    unknown key, bad type, or out-of-range value — the HTTP layer maps
+    it to a 400, the CLI to an argparse-style error.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("spec must be a JSON object")
+    unknown = sorted(set(spec) - set(_FLOW_SPEC_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown spec field(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(_FLOW_SPEC_FIELDS))}"
+        )
+    clean: dict = {}
+    for key, value in spec.items():
+        coerce = _FLOW_SPEC_FIELDS[key]
+        try:
+            if coerce is bool and not isinstance(value, bool):
+                raise ValueError
+            clean[key] = coerce(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"spec field {key!r}: expected {coerce.__name__}, "
+                f"got {value!r}"
+            ) from None
+    if clean.get("profile", "aes") not in _PROFILES:
+        raise ValueError(
+            f"spec field 'profile': expected one of {_PROFILES}, "
+            f"got {clean['profile']!r}"
+        )
+    if "arch" in clean:
+        try:
+            clean["arch"] = CellArchitecture(clean["arch"])
+        except ValueError:
+            raise ValueError(
+                f"spec field 'arch': expected one of "
+                f"{[a.value for a in CellArchitecture]}, "
+                f"got {clean['arch']!r}"
+            ) from None
+    if clean.get("scale", 0.05) <= 0:
+        raise ValueError("spec field 'scale' must be > 0")
+    if not 0 < clean.get("utilization", 0.75) <= 1:
+        raise ValueError("spec field 'utilization' must be in (0, 1]")
+    if clean.get("jobs", 1) < 1:
+        raise ValueError("spec field 'jobs' must be >= 1")
+    if clean.get("time_limit", 1.0) <= 0:
+        raise ValueError("spec field 'time_limit' must be > 0")
+    if clean.get("executor", "auto") not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"spec field 'executor': expected one of "
+            f"{EXECUTOR_KINDS}, got {clean['executor']!r}"
+        )
+    return FlowConfig(**clean)
+
+
+class JobManager:
+    """Claims queued jobs and executes them on worker threads."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        workers: int = 1,
+        poll_interval: float = 0.1,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.poll_interval = poll_interval
+        self.started_at = time.time()
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._active_lock = threading.Lock()
+        self._active: dict[str, threading.Event] = {}
+        self.counters = {
+            "jobs_started": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_interrupted": 0,
+            "passes": 0,
+        }
+
+    # ------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain: stop claiming new jobs and make
+        running jobs stop at their next pass boundary (re-queued with
+        their checkpoint)."""
+        self._stop.set()
+        self._wake.set()
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Drain and join every worker thread."""
+        self.request_shutdown()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._stop.is_set()
+
+    # --------------------------------------------------------- cancel
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: queued jobs finalize at claim time, running
+        jobs stop cooperatively at the next pass boundary."""
+        record = self.store.request_cancel(job_id)
+        with self._active_lock:
+            flag = self._active.get(job_id)
+        if flag is not None:
+            flag.set()
+        self._wake.set()
+        return record
+
+    def active_jobs(self) -> list[str]:
+        with self._active_lock:
+            return sorted(self._active)
+
+    # -------------------------------------------------------- metrics
+    def metrics(self) -> dict:
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.workers,
+            "active": len(self.active_jobs()),
+            "draining": self.draining,
+            "counters": dict(self.counters),
+            "jobs_by_state": self.store.counts_by_state(),
+        }
+
+    # ------------------------------------------------------- internals
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.store.claim_next()
+            if record is None:
+                self._wake.wait(timeout=self.poll_interval)
+                self._wake.clear()
+                continue
+            self._run_job(record)
+
+    def _run_job(self, record: JobRecord) -> None:
+        job_id = record.job_id
+        cancel = threading.Event()
+        if record.cancel_requested:
+            cancel.set()
+        with self._active_lock:
+            self._active[job_id] = cancel
+        self.counters["jobs_started"] += 1
+        logger.info(
+            "job %s start (attempt %d)", job_id, record.attempts
+        )
+        try:
+            if record.kind != "flow":
+                raise ValueError(f"unknown job kind {record.kind!r}")
+            self._run_flow_job(record, cancel)
+        except JobCancelled:
+            self.counters["jobs_cancelled"] += 1
+            self.store.mark_cancelled(job_id)
+            logger.info("job %s cancelled", job_id)
+        except ServiceShutdown:
+            self.counters["jobs_interrupted"] += 1
+            self.store.requeue(job_id, reason="shutdown")
+            logger.info(
+                "job %s interrupted by shutdown — re-queued", job_id
+            )
+        except Exception as exc:  # noqa: BLE001 — job isolation
+            self.counters["jobs_failed"] += 1
+            self.store.mark_failed(job_id, error=repr(exc))
+            logger.warning(
+                "job %s failed: %s\n%s",
+                job_id,
+                exc,
+                traceback.format_exc(),
+            )
+        else:
+            self.counters["jobs_done"] += 1
+            self.store.mark_done(job_id)
+            logger.info("job %s done", job_id)
+        finally:
+            with self._active_lock:
+                self._active.pop(job_id, None)
+
+    def _run_flow_job(
+        self, record: JobRecord, cancel: threading.Event
+    ) -> None:
+        job_id = record.job_id
+        config = flow_config_from_spec(record.spec)
+        resume = self.store.load_checkpoint(job_id)
+        if resume is not None:
+            self.store.append_event(
+                job_id,
+                {
+                    "type": "resume",
+                    "u_index": resume.u_index,
+                    "iteration": resume.iteration,
+                    "phase": resume.phase,
+                },
+            )
+
+        def progress(stage: str, info: dict) -> None:
+            if stage == "pass":
+                self.counters["passes"] += 1
+            self.store.append_event(
+                job_id, {"type": stage, **info}
+            )
+            # Control points come *after* the event (and after the
+            # pass checkpoint already hit the store), so an abort here
+            # is always resumable.
+            if cancel.is_set():
+                raise JobCancelled(job_id)
+            if self._stop.is_set():
+                raise ServiceShutdown(job_id)
+
+        result = run_flow(
+            config,
+            progress=progress,
+            checkpoint_sink=lambda cp: self.store.write_checkpoint(
+                job_id, cp
+            ),
+            resume=resume,
+        )
+
+        row = table2_row(result)
+        self.store.write_result(
+            job_id,
+            {
+                "schema": RESULT_SCHEMA,
+                "job_id": job_id,
+                "table2": row,
+                "num_instances": result.num_instances,
+                "place_seconds": result.place_seconds,
+                "total_seconds": result.total_seconds,
+                "resumed": resume is not None,
+            },
+        )
+        if result.telemetry is not None:
+            self.store.write_telemetry(
+                job_id, result.telemetry.summary()
+            )
+        self.store.write_artifact(
+            job_id, "post.def", write_def(result.design)
+        )

@@ -11,7 +11,9 @@ def test_help_lists_subcommands(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])
     out = capsys.readouterr().out
-    for cmd in ("generate", "flow", "experiment"):
+    for cmd in (
+        "generate", "flow", "experiment", "serve", "submit", "jobs",
+    ):
         assert cmd in out
 
 
@@ -53,3 +55,38 @@ def test_flow_prints_table(tmp_path, capsys):
 def test_parser_rejects_unknown_arch():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["flow", "--arch", "nope"])
+
+
+@pytest.mark.parametrize("jobs", ["0", "-3"])
+def test_flow_rejects_nonpositive_jobs_at_parse_time(jobs, capsys):
+    """Satellite: ``--jobs 0`` must die in argparse, not deep in the
+    executor factory."""
+    with pytest.raises(SystemExit) as err:
+        build_parser().parse_args(["flow", "--jobs", jobs])
+    assert err.value.code == 2  # argparse usage error
+    assert "must be a positive integer" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "args",
+    [
+        ["flow", "--scale", "0"],
+        ["flow", "--scale", "-0.5"],
+        ["flow", "--time-limit", "0"],
+        ["serve", "--workers", "0"],
+        ["submit", "--jobs", "-1"],
+    ],
+)
+def test_parser_rejects_nonpositive_numbers(args):
+    with pytest.raises(SystemExit) as err:
+        build_parser().parse_args(args)
+    assert err.value.code == 2
+
+
+def test_flow_help_documents_auto_executor_resolution(capsys):
+    with pytest.raises(SystemExit) as err:
+        main(["flow", "--help"])
+    assert err.value.code == 0
+    out = " ".join(capsys.readouterr().out.split())
+    assert "'auto' resolves to 'serial'" in out
+    assert "must be >= 1" in out

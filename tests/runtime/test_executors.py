@@ -1,5 +1,7 @@
 """Executor backend tests: serial, thread, process, factory."""
 
+import time
+
 import pytest
 
 from repro.runtime import (
@@ -12,7 +14,7 @@ from repro.runtime import (
     make_executor,
 )
 
-from tests.runtime._fakes import tiny_model
+from tests.runtime._fakes import SleepyBackend, tiny_model
 
 
 def batch(n=4):
@@ -21,6 +23,20 @@ def batch(n=4):
         WindowTask(
             task_id=i, ix=i, iy=0, family=0,
             model=tiny_model(f"m{i}", reward=-(i + 1.0)),
+            solver=spec,
+        )
+        for i in range(n)
+    ]
+
+
+def sleepy_batch(n, sleep_seconds=0.3):
+    spec = SolverSpec(
+        backend="sleepy", instance=SleepyBackend(sleep_seconds)
+    )
+    return [
+        WindowTask(
+            task_id=i, ix=i, iy=0, family=0,
+            model=tiny_model(f"s{i}"),
             solver=spec,
         )
         for i in range(n)
@@ -83,3 +99,53 @@ def test_close_is_idempotent():
     executor = ThreadExecutor(jobs=1)
     executor.close()
     executor.close()
+
+
+def _wait_until_in_flight(futures, timeout=30.0):
+    """Block until every future has been picked up by a worker —
+    drain's guarantee is about in-flight work, so start it first."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if all(f.running() or f.done() for f in futures):
+            return
+        time.sleep(0.01)
+    pytest.fail("submitted tasks never started running")
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: ThreadExecutor(jobs=2), lambda: MultiprocessExecutor(jobs=2)],
+    ids=["thread", "process"],
+)
+def test_drain_waits_for_in_flight_tasks(factory):
+    """Satellite: drain() blocks until every task a worker picked up
+    has finished — the graceful-shutdown path relies on this to avoid
+    orphaning window solves."""
+    executor = factory()
+    try:
+        futures = [
+            executor.submit(t) for t in sleepy_batch(2, 0.3)
+        ]
+        _wait_until_in_flight(futures)
+        executor.drain()
+        assert all(f.done() for f in futures)
+        for future in futures:
+            result = future.result(timeout=0)  # already resolved
+            assert result.ok, result.error
+    finally:
+        executor.close()
+    executor.drain()  # idempotent after close
+
+
+def test_context_exit_drains_in_flight_tasks():
+    """Leaving the ``with`` block — including via an exception, as the
+    SIGTERM abort path does — must join workers, not abandon them."""
+    with pytest.raises(RuntimeError, match="abort"):
+        with MultiprocessExecutor(jobs=2) as executor:
+            futures = [
+                executor.submit(t) for t in sleepy_batch(2, 0.3)
+            ]
+            _wait_until_in_flight(futures)
+            raise RuntimeError("abort mid-pass")
+    assert all(f.done() for f in futures)
+    assert all(f.result(timeout=0).ok for f in futures)

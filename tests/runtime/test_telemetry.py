@@ -126,6 +126,64 @@ def test_summary_schema_and_save(tmp_path):
     assert json.loads(path.read_text())["schema"] == TELEMETRY_SCHEMA
 
 
+def test_v2_json_roundtrip_from_real_run(tmp_path):
+    """Satellite: write → load → validate the v2 fields the service's
+    progress stream depends on (schema id, presolve seconds, cache
+    hits/misses)."""
+    from repro.core import OptParams, WindowSolveCache
+    from repro.core.distopt import dist_opt
+    from repro.library import build_library
+    from repro.netlist import generate_design
+    from repro.placement import place_design
+    from repro.tech import CellArchitecture, make_tech
+
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("m0", tech, lib, scale=0.01, seed=2)
+    place_design(design, seed=1)
+    params = OptParams.for_arch(tech.arch, time_limit=2.0)
+    telemetry = RunTelemetry(executor="serial", jobs=1)
+    cache = WindowSolveCache()
+    snapshot = {
+        name: (inst.x, inst.y, inst.orientation)
+        for name, inst in design.instances.items()
+    }
+    for pass_label in ("move[u0.i0]", "move[u0.i1]"):
+        # Restore the pre-pass placement so the second pass re-solves
+        # byte-identical windows — guaranteed cache hits.
+        for name, (x, y, orient) in snapshot.items():
+            inst = design.instances[name]
+            inst.x, inst.y, inst.orientation = x, y, orient
+        dist_opt(
+            design, params, tx=0, ty=0, bw=1250, bh=1080, lx=2, ly=1,
+            allow_flip=False, telemetry=telemetry,
+            pass_label=pass_label, presolve=True, cache=cache,
+        )
+    telemetry.wall_seconds = 1.0
+
+    path = telemetry.save(tmp_path / "telemetry.json")
+    doc = json.loads(path.read_text())
+
+    assert doc["schema"] == "repro.runtime.telemetry/v2"
+    assert doc["schema"] == TELEMETRY_SCHEMA
+    # v2 presolve split: present run-wide, per pass, and per window.
+    assert doc["seconds"]["presolve"] >= 0.0
+    assert all("presolve_seconds" in p for p in doc["passes"])
+    assert all(
+        "presolve_seconds" in w for w in doc["windows_detail"]
+    )
+    # v2 cache section: the identical second pass hits the cache.
+    assert doc["cache"]["hits"] == cache.hits
+    assert doc["cache"]["misses"] == cache.misses
+    assert doc["cache"]["hits"] > 0
+    assert doc["cache"]["hit_rate"] == pytest.approx(
+        cache.hits / (cache.hits + cache.misses)
+    )
+    assert doc["windows"]["cached"] == cache.hits
+    # Round-trip: loading loses nothing the summary carries.
+    assert doc == json.loads(json.dumps(telemetry.summary()))
+
+
 def test_speedup_none_when_nothing_ran():
     summary = RunTelemetry().summary()
     assert summary["speedup"] == {"measured": None, "modeled": None}

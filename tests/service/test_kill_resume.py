@@ -1,0 +1,186 @@
+"""Crash-safety acceptance tests against a real ``repro serve``.
+
+Two scenarios from ISSUE 4:
+
+* SIGKILL of the server mid-DistOpt: a restart on the same journal
+  root recovers the job and resumes from the last checkpointed pass,
+  finishing with a placement **byte-identical** to an uninterrupted
+  run.
+* SIGTERM of the server while a multiprocess-executor job runs: the
+  service drains (in-flight window solves finish, workers are
+  joined — nothing orphaned), the job is re-queued with its
+  checkpoint, and the process exits nonzero.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+
+SPEC = {
+    "profile": "aes",
+    "scale": 0.02,
+    "window_um": 1.0,
+    "time_limit": 2.0,
+    "seed": 1,
+}
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _start_server(root: Path) -> tuple[subprocess.Popen, ServiceClient]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--root",
+            str(root),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        start_new_session=True,  # own process group — see _assert_group_gone
+    )
+    banner = proc.stdout.readline()
+    assert "listening on" in banner, banner
+    url = banner.split("listening on ")[1].split()[0]
+    return proc, ServiceClient(url)
+
+
+def _stop_server(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    if proc.stdout:
+        proc.stdout.close()
+
+
+def _assert_group_gone(pgid: int, timeout: float = 20.0) -> None:
+    """The whole process group must exit — no orphaned pool workers."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            os.killpg(pgid, 0)
+        except ProcessLookupError:
+            return
+        time.sleep(0.1)
+    os.killpg(pgid, signal.SIGKILL)  # clean up before failing
+    pytest.fail("worker processes were orphaned after shutdown")
+
+
+def _wait_for_checkpoint(root: Path, job_id: str, timeout=60.0) -> Path:
+    path = root / "jobs" / job_id / "checkpoint.json"
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if path.exists():
+            return path
+        time.sleep(0.02)
+    pytest.fail("no checkpoint appeared — job too fast or stuck")
+
+
+def test_sigkill_resume_is_byte_identical(tmp_path):
+    # Reference: the same spec run to completion uninterrupted.
+    ref_root = tmp_path / "ref"
+    proc, client = _start_server(ref_root)
+    try:
+        job_id = client.submit(dict(SPEC))
+        assert client.wait(job_id, timeout=300)["state"] == "done"
+        reference_def = client.artifact(job_id, "post.def")
+    finally:
+        _stop_server(proc)
+
+    # Victim: SIGKILL the whole server group mid-DistOpt.
+    root = tmp_path / "victim"
+    proc, client = _start_server(root)
+    try:
+        job_id = client.submit(dict(SPEC))
+        _wait_for_checkpoint(root, job_id)
+    finally:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        proc.stdout.close()
+
+    # The journal still says "running" — nobody got to clean up.
+    record = json.loads(
+        (root / "jobs" / job_id / "job.json").read_text()
+    )
+    assert record["state"] == "running"
+
+    # Restart on the same root: recovery re-queues, the job resumes
+    # from the checkpoint and must finish byte-identical.
+    proc, client = _start_server(root)
+    try:
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done", final.get("error")
+        assert final["attempts"] == 2
+        events = list(client.events(job_id))
+        states = [
+            e.get("state") for e in events if e["type"] == "state"
+        ]
+        assert "requeued" in states
+        assert any(e["type"] == "resume" for e in events)
+        assert client.result(job_id)["resumed"] is True
+        resumed_def = client.artifact(job_id, "post.def")
+    finally:
+        _stop_server(proc)
+
+    assert resumed_def == reference_def
+
+
+def test_sigterm_drains_multiprocess_job_and_exits_nonzero(tmp_path):
+    root = tmp_path / "drain"
+    proc, client = _start_server(root)
+    pgid = proc.pid
+    job_id = None
+    try:
+        job_id = client.submit(
+            {**SPEC, "executor": "process", "jobs": 2}
+        )
+        _wait_for_checkpoint(root, job_id)
+        os.kill(proc.pid, signal.SIGTERM)  # only the server process
+        rc = proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:  # pragma: no cover — hung server
+            _stop_server(proc)
+
+    assert rc == 128 + signal.SIGTERM  # nonzero, conventional code
+    _assert_group_gone(pgid)  # pool workers joined, not orphaned
+
+    record = json.loads(
+        (root / "jobs" / job_id / "job.json").read_text()
+    )
+    assert record["state"] == "queued"  # re-queued for resume
+    assert (root / "jobs" / job_id / "checkpoint.json").exists()
+    events = [
+        json.loads(line)
+        for line in (root / "jobs" / job_id / "events.ndjson")
+        .read_text()
+        .splitlines()
+    ]
+    states = [
+        e.get("state") for e in events if e["type"] == "state"
+    ]
+    assert states[-1] == "requeued"
+
+    # A restarted service finishes the drained job from its checkpoint.
+    proc, client = _start_server(root)
+    try:
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done", final.get("error")
+        assert final["attempts"] == 2
+    finally:
+        _stop_server(proc)
