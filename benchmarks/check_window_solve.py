@@ -26,16 +26,41 @@ BASELINE = Path(__file__).parent / "results" / "window_solve_baseline.json"
 MAX_REGRESSION = 3.0
 
 
+def _load_json(path: Path, role: str) -> dict | None:
+    """Read a report/baseline file; None (with a message) on any
+    missing, unreadable, or non-object document."""
+    if not path.exists():
+        print(f"missing {role} {path}; run benchmarks/test_microbench.py first")
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"malformed {role} {path}: {exc}")
+        return None
+    if not isinstance(doc, dict):
+        print(f"malformed {role} {path}: expected a JSON object, got "
+              f"{type(doc).__name__}")
+        return None
+    return doc
+
+
 def main() -> int:
-    if not REPORT.exists():
-        print(f"missing {REPORT}; run benchmarks/test_microbench.py first")
+    report = _load_json(REPORT, "report")
+    if report is None:
         return 2
-    report = json.loads(REPORT.read_text())
     combined = report.get("combined_seconds")
-    if combined is None:
+    if not isinstance(combined, (int, float)):
         print("report has no combined_seconds (hot-path benches skipped?)")
         return 2
-    baseline = json.loads(BASELINE.read_text())
+    baseline = _load_json(BASELINE, "baseline")
+    if baseline is None:
+        return 2
+    base_combined = baseline.get("combined_seconds")
+    if not isinstance(base_combined, (int, float)) or base_combined <= 0:
+        print(f"malformed baseline {BASELINE}: combined_seconds must be "
+              f"a positive number, got {base_combined!r}")
+        return 2
+    baseline = dict(baseline, combined_seconds=float(base_combined))
     limit = baseline["combined_seconds"] * MAX_REGRESSION
     speedup = report.get("speedup_vs_baseline")
     print(

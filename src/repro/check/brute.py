@@ -1,0 +1,315 @@
+"""Exhaustive window solver: the optimality oracle for window MILPs.
+
+Enumerates *every* feasible assignment of SCP candidates to the
+window's movable cells (single- or multi-row, respecting site
+occupancy against blocked sites and each other) and evaluates the true
+local objective per assignment.  The candidate sets come from
+:func:`repro.core.scp.enumerate_candidates` — they *define* the
+problem the MILP solves — but feasibility, geometry, and the objective
+are all recomputed here from first principles (via
+:mod:`repro.check.oracle` pin geometry), so a formulation bug (wrong
+big-M, missing constraint, mis-signed reward) makes the MILP and the
+enumeration disagree.
+
+Only small windows are tractable; :func:`brute_force_window` refuses
+(returns None) rather than silently truncating when the assignment
+count would exceed ``max_assignments``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.check.oracle import oracle_pin_interval, oracle_pin_point
+from repro.core.params import OptParams
+from repro.core.scp import Candidate, enumerate_candidates
+from repro.core.window import Window
+from repro.netlist.design import Design, Net
+from repro.tech.arch import AlignmentMode
+
+
+@dataclass
+class BruteResult:
+    """Outcome of one exhaustive window enumeration."""
+
+    objective: float
+    assignment: dict[str, Candidate]
+    num_assignments: int
+    num_movable: int
+    nets: list[str]
+
+
+def brute_force_window(
+    design: Design,
+    window: Window,
+    params: OptParams,
+    *,
+    lx: int,
+    ly: int,
+    allow_flip: bool,
+    max_assignments: int = 50_000,
+) -> BruteResult | None:
+    """Certify-grade exhaustive solve of one window.
+
+    Returns the best achievable local objective (same local-net scope
+    the MILP optimizes) over all feasible assignments, or None when the
+    window has no movable cell or the search space exceeds
+    ``max_assignments`` complete assignments.
+
+    The design is left exactly as it was found.
+    """
+    movable = [
+        inst
+        for inst in design.instances_in(window.rect)
+        if not inst.fixed
+    ]
+    if not movable:
+        return None
+    movable_names = [inst.name for inst in movable]
+    movable_set = set(movable_names)
+
+    # Blocked sites: every (row, column) footprinted by a cell the
+    # window may not move, over the whole die (a superset of what any
+    # candidate can collide with — membership tests are cheap).
+    blocked: set[tuple[int, int]] = set()
+    for name, inst in design.instances.items():
+        if name in movable_set:
+            continue
+        row = design.row_of(inst)
+        col = design.column_of(inst)
+        for c in range(col, col + inst.macro.width_sites):
+            blocked.add((row, c))
+
+    cand_lists: list[list[Candidate]] = []
+    for inst in movable:
+        cands = [
+            cand
+            for cand in enumerate_candidates(
+                design, inst, window.rect, lx=lx, ly=ly,
+                allow_flip=allow_flip,
+            )
+            if blocked.isdisjoint(cand.sites)
+        ]
+        if not cands:
+            return None  # mirrors build_window_model's give-up path
+        cand_lists.append(cands)
+
+    upper_bound = 1
+    for cands in cand_lists:
+        upper_bound *= len(cands)
+        if upper_bound > max_assignments:
+            return None
+
+    nets = [
+        net
+        for net in design.nets_of_instances(movable_set)
+        if net.degree >= 2
+    ]
+    evaluator = _WindowEvaluator(
+        design, params, nets, movable_names, cand_lists
+    )
+
+    best_obj = float("inf")
+    best: list[int] = []
+    current: list[int] = [0] * len(movable)
+    occupied: set[tuple[int, int]] = set()
+    count = 0
+
+    def descend(depth: int) -> None:
+        nonlocal best_obj, best, count
+        if depth == len(cand_lists):
+            count += 1
+            obj = evaluator.evaluate(current)
+            if obj < best_obj - 1e-12:
+                best_obj = obj
+                best = list(current)
+            return
+        for k, cand in enumerate(cand_lists[depth]):
+            if not occupied.isdisjoint(cand.sites):
+                continue
+            occupied.update(cand.sites)
+            current[depth] = k
+            descend(depth + 1)
+            occupied.difference_update(cand.sites)
+
+    descend(0)
+    if not best:
+        return None  # every assignment had a site conflict
+    assignment = {
+        name: cand_lists[i][best[i]]
+        for i, name in enumerate(movable_names)
+    }
+    return BruteResult(
+        objective=best_obj,
+        assignment=assignment,
+        num_assignments=count,
+        num_movable=len(movable),
+        nets=[net.name for net in nets],
+    )
+
+
+class _WindowEvaluator:
+    """Fast exact local-objective evaluation over candidate indices.
+
+    Pin geometry per (cell, candidate) is precomputed once through the
+    oracle's shape-derived transforms; evaluating an assignment is then
+    pure arithmetic.  ``evaluate`` must equal
+    :func:`repro.check.oracle.oracle_objective` on the applied
+    placement restricted to the same nets — the differential harness
+    asserts exactly that cross-check on every certified case.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        params: OptParams,
+        nets: list[Net],
+        movable_names: list[str],
+        cand_lists: list[list[Candidate]],
+    ) -> None:
+        self.params = params
+        self.mode = design.tech.arch.alignment_mode
+        self.span = params.gamma * design.tech.row_height
+        index_of = {name: i for i, name in enumerate(movable_names)}
+
+        # _tables[(cell_idx, pin)][cand_idx] -> (x, y, lo, hi)
+        self._tables: dict[
+            tuple[int, str], list[tuple[int, int, int, int]]
+        ] = {}
+
+        def movable_geometry(cell_idx: int, pin_name: str):
+            key = (cell_idx, pin_name)
+            if key in self._tables:
+                return self._tables[key]
+            inst = design.instances[movable_names[cell_idx]]
+            saved = (inst.x, inst.y, inst.orientation)
+            rows = []
+            for cand in cand_lists[cell_idx]:
+                inst.x, inst.y = cand.x, cand.y
+                inst.orientation = cand.orientation
+                x, y = oracle_pin_point(inst, pin_name)
+                lo, hi = oracle_pin_interval(inst, pin_name)
+                rows.append((x, y, lo, hi))
+            inst.x, inst.y, inst.orientation = saved
+            self._tables[key] = rows
+            return rows
+
+        # Per net: β weight, fixed-terminal extremes, movable refs.
+        self.net_terms: list[
+            tuple[float, tuple | None, list[tuple[int, str]]]
+        ] = []
+        # Alignment pairs: each endpoint is either a constant geometry
+        # tuple (fixed terminal) or a movable (cell_idx, pin) key.
+        self.pairs: list[tuple[object, object]] = []
+        self.fixed_objective = 0.0
+
+        count_align = (
+            self.mode is not AlignmentMode.NONE and params.alpha > 0
+        )
+        for net in nets:
+            beta = params.beta_of(net.name)
+            fixed_xs = [p.x for p in net.pads]
+            fixed_ys = [p.y for p in net.pads]
+            # Endpoint: (inst_name, geometry tuple | (cell_idx, pin))
+            terminals: list[tuple[str, object, bool]] = []
+            movable_refs: list[tuple[int, str]] = []
+            for ref in net.pins:
+                cell_idx = index_of.get(ref.instance)
+                if cell_idx is None:
+                    inst = design.instances[ref.instance]
+                    x, y = oracle_pin_point(inst, ref.pin)
+                    lo, hi = oracle_pin_interval(inst, ref.pin)
+                    fixed_xs.append(x)
+                    fixed_ys.append(y)
+                    terminals.append(
+                        (ref.instance, (x, y, lo, hi), True)
+                    )
+                else:
+                    movable_geometry(cell_idx, ref.pin)
+                    movable_refs.append((cell_idx, ref.pin))
+                    terminals.append(
+                        (ref.instance, (cell_idx, ref.pin), False)
+                    )
+            fixed_ext = (
+                (
+                    min(fixed_xs),
+                    max(fixed_xs),
+                    min(fixed_ys),
+                    max(fixed_ys),
+                )
+                if fixed_xs
+                else None
+            )
+            self.net_terms.append((beta, fixed_ext, movable_refs))
+            if not count_align:
+                continue
+            if not 2 <= net.degree <= params.max_net_degree:
+                continue
+            for i in range(len(terminals)):
+                inst_i, geo_i, const_i = terminals[i]
+                for j in range(i + 1, len(terminals)):
+                    inst_j, geo_j, const_j = terminals[j]
+                    if inst_i == inst_j:
+                        continue
+                    if const_i and const_j:
+                        # Fixed-fixed: assignment-independent.
+                        self.fixed_objective -= self._pair_reward(
+                            geo_i, geo_j
+                        )
+                    else:
+                        self.pairs.append(
+                            (
+                                geo_i if const_i else ("var", geo_i),
+                                geo_j if const_j else ("var", geo_j),
+                            )
+                        )
+
+    def _pair_reward(self, p, q) -> float:
+        """α/ε reward one concrete pin-geometry pair earns."""
+        px, py, plo, phi = p
+        qx, qy, qlo, qhi = q
+        if abs(py - qy) > self.span:
+            return 0.0
+        if self.mode is AlignmentMode.ALIGN:
+            return self.params.alpha if px == qx else 0.0
+        overlap = min(phi, qhi) - max(plo, qlo)
+        if overlap < self.params.delta:
+            return 0.0
+        return self.params.alpha + self.params.epsilon * (
+            overlap - self.params.delta
+        )
+
+    def evaluate(self, choice: list[int]) -> float:
+        """Exact local objective for candidate indices ``choice``."""
+        total = self.fixed_objective
+        for beta, fixed_ext, movable_refs in self.net_terms:
+            if fixed_ext is not None:
+                min_x, max_x, min_y, max_y = fixed_ext
+            else:
+                cell_idx, pin = movable_refs[0]
+                x, y, _, _ = self._geo(cell_idx, pin, choice)
+                min_x = max_x = x
+                min_y = max_y = y
+            for cell_idx, pin in movable_refs:
+                x, y, _, _ = self._geo(cell_idx, pin, choice)
+                if x < min_x:
+                    min_x = x
+                elif x > max_x:
+                    max_x = x
+                if y < min_y:
+                    min_y = y
+                elif y > max_y:
+                    max_y = y
+            total += beta * ((max_x - min_x) + (max_y - min_y))
+        for geo_p, geo_q in self.pairs:
+            if geo_p[0] == "var":
+                cell_idx, pin = geo_p[1]
+                geo_p = self._tables[(cell_idx, pin)][choice[cell_idx]]
+            if geo_q[0] == "var":
+                cell_idx, pin = geo_q[1]
+                geo_q = self._tables[(cell_idx, pin)][choice[cell_idx]]
+            total -= self._pair_reward(geo_p, geo_q)
+        return total
+
+    def _geo(self, cell_idx: int, pin: str, choice: list[int]):
+        return self._tables[(cell_idx, pin)][choice[cell_idx]]

@@ -1,0 +1,468 @@
+"""Seeded adversarial case generators and metamorphic transforms.
+
+A :class:`CheckCase` is one self-contained differential-test input: a
+tiny hand-buildable design, a single window covering it, the solver
+parameters, and the window freedom (``lx``/``ly``/``allow_flip``).
+Cases are small by construction so the brute-force oracle
+(:mod:`repro.check.brute`) can enumerate them exhaustively.
+
+All randomness flows through an explicit ``random.Random(seed)``
+instance — never the global ``random`` state — so the same seed always
+yields the same case, byte for byte.
+
+The adversarial ``kind`` axis targets known failure surfaces:
+
+* ``single_site`` — a window with zero slack: the identity assignment
+  is the only feasible one.
+* ``all_fixed_row`` — a fully fixed row next to the movable row, so
+  every cross-row candidate is blocked.
+* ``dup_pin_x`` — cells stacked in one column across rows, producing
+  duplicate pin x-coordinates and massive alignment-tie degeneracy.
+* ``zero_overlap`` — connected cells in adjacent columns whose OpenM1
+  pin intervals abut at zero-width overlap (the δ boundary).
+* ``max_density`` — rows packed with no free site, leaving only
+  permutation/flip moves.
+
+The metamorphic transforms (:func:`translate_x`, :func:`mirror_x`,
+:func:`relabel_nets`) each return a *new* case whose oracle objective
+provably equals the original's — the property tests assert exactly
+that invariance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.params import OptParams
+from repro.core.window import Window
+from repro.geometry import Orientation, Point, Rect
+from repro.library import build_library
+from repro.netlist.design import Design
+from repro.tech import CellArchitecture, make_tech
+
+CASE_KINDS: tuple[str, ...] = (
+    "random",
+    "single_site",
+    "all_fixed_row",
+    "dup_pin_x",
+    "zero_overlap",
+    "max_density",
+)
+
+
+@dataclass
+class CheckCase:
+    """One differential-test input (design + window + parameters)."""
+
+    design: Design
+    window: Window
+    params: OptParams
+    lx: int
+    ly: int
+    allow_flip: bool
+    seed: int
+    kind: str
+    arch: CellArchitecture
+
+    def describe(self) -> str:
+        return (
+            f"case(seed={self.seed}, arch={self.arch.value}, "
+            f"kind={self.kind}, cells={len(self.design.instances)}, "
+            f"nets={len(self.design.nets)}, lx={self.lx}, "
+            f"ly={self.ly}, flip={self.allow_flip})"
+        )
+
+
+def generate_case(
+    seed: int,
+    arch: CellArchitecture | None = None,
+    kind: str | None = None,
+) -> CheckCase:
+    """Deterministically generate the check case for ``seed``.
+
+    ``arch``/``kind`` pin those axes; left None they are drawn from
+    the seeded stream (so a bare seed still covers the full matrix).
+    """
+    rng = random.Random(seed)
+    if arch is None:
+        arch = rng.choice(sorted(CellArchitecture, key=lambda a: a.value))
+    if kind is None:
+        kind = rng.choice(CASE_KINDS)
+    elif kind not in CASE_KINDS:
+        raise ValueError(f"unknown case kind {kind!r}")
+
+    tech = make_tech(arch)
+    library = build_library(tech)
+    # Small combinational macros keep candidate counts enumerable.
+    macros = sorted(
+        (m for m in library.combinational() if m.width_sites <= 5),
+        key=lambda m: m.name,
+    )
+
+    builder = _CaseBuilder(rng, tech, library, macros)
+    if kind == "random":
+        builder.build_random()
+    elif kind == "single_site":
+        builder.build_single_site()
+    elif kind == "all_fixed_row":
+        builder.build_all_fixed_row()
+    elif kind == "dup_pin_x":
+        builder.build_dup_pin_x()
+    elif kind == "zero_overlap":
+        builder.build_zero_overlap()
+    else:
+        builder.build_max_density()
+    design, lx, ly, allow_flip = builder.finish(seed, kind)
+
+    params = OptParams.for_arch(arch)
+    window = Window(0, 0, design.die)
+    return CheckCase(
+        design=design,
+        window=window,
+        params=params,
+        lx=lx,
+        ly=ly,
+        allow_flip=allow_flip,
+        seed=seed,
+        kind=kind,
+        arch=arch,
+    )
+
+
+class _CaseBuilder:
+    """Places cells row by row and wires small nets over them."""
+
+    def __init__(self, rng, tech, library, macros) -> None:
+        self.rng = rng
+        self.tech = tech
+        self.library = library
+        self.macros = macros
+        self.design: Design | None = None
+        self.lx = 1
+        self.ly = 0
+        self.allow_flip = True
+        self._counter = 0
+
+    # ------------------------------------------------------- scaffolding
+    def _new_design(self, ncols: int, nrows: int) -> Design:
+        die = Rect(
+            0,
+            0,
+            ncols * self.tech.site_width,
+            nrows * self.tech.row_height,
+        )
+        self.design = Design("check", self.tech, die)
+        self.ncols = ncols
+        self.nrows = nrows
+        return self.design
+
+    def _add_cell(
+        self,
+        macro,
+        column: int,
+        row: int,
+        *,
+        fixed: bool = False,
+        flipped: bool | None = None,
+    ) -> str:
+        name = f"u{self._counter}"
+        self._counter += 1
+        inst = self.design.add_instance(name, macro)
+        inst.fixed = fixed
+        if flipped is None:
+            flipped = self.rng.random() < 0.5
+        self.design.place(name, column, row, flipped)
+        return name
+
+    def _pick_macro(self, max_sites: int):
+        fits = [m for m in self.macros if m.width_sites <= max_sites]
+        return self.rng.choice(fits) if fits else None
+
+    def _fill_row(
+        self,
+        row: int,
+        *,
+        count: int,
+        gap: tuple[int, int],
+        fixed: bool = False,
+        start: int = 0,
+    ) -> list[str]:
+        """Place up to ``count`` cells left to right with random gaps."""
+        names: list[str] = []
+        col = start
+        for _ in range(count):
+            col += self.rng.randint(*gap)
+            macro = self._pick_macro(self.ncols - col)
+            if macro is None:
+                break
+            names.append(
+                self._add_cell(macro, col, row, fixed=fixed)
+            )
+            col += macro.width_sites
+        return names
+
+    def _pack_row(self, row: int, *, fixed: bool = False) -> list[str]:
+        """Fill ``row`` completely — no free site remains."""
+        names: list[str] = []
+        col = 0
+        while col < self.ncols:
+            macro = self._pick_macro(self.ncols - col)
+            if macro is None:
+                # No macro narrow enough for the tail gap: plug it
+                # with the narrowest macro that exists, if any fits.
+                break
+            names.append(self._add_cell(macro, col, row, fixed=fixed))
+            col += macro.width_sites
+        return names
+
+    # ------------------------------------------------------- wiring
+    def _wire(self, groups: list[list[str]], pad_prob: float = 0.3) -> None:
+        """Create one net per instance group, plus optional pads."""
+        design = self.design
+        free: dict[str, list[str]] = {}
+        for name, inst in design.instances.items():
+            free[name] = [
+                p.name
+                for p in (
+                    inst.macro.output_pins + inst.macro.input_pins
+                )
+            ]
+        net_idx = 0
+        for group in groups:
+            members = [n for n in group if free.get(n)]
+            if len(members) < 2 and not members:
+                continue
+            net_name = f"n{net_idx}"
+            net_idx += 1
+            net = design.add_net(net_name)
+            for name in members:
+                pin = free[name].pop(0)
+                design.connect(net_name, name, pin)
+            if self.rng.random() < pad_prob or len(members) < 2:
+                die = design.die
+                net.pads.append(
+                    Point(
+                        self.rng.randrange(die.xlo, die.xhi),
+                        self.rng.choice((die.ylo, die.yhi)),
+                    )
+                )
+
+    def _random_groups(
+        self, names: list[str], num_nets: int
+    ) -> list[list[str]]:
+        groups = []
+        for _ in range(num_nets):
+            if len(names) < 2:
+                groups.append(list(names))  # pad-anchored single pin
+                continue
+            size = self.rng.randint(2, min(3, len(names)))
+            groups.append(self.rng.sample(names, size))
+        return groups
+
+    # ------------------------------------------------------- kinds
+    def build_random(self) -> None:
+        nrows = self.rng.randint(1, 2)
+        self._new_design(self.rng.randint(10, 14), nrows)
+        names: list[str] = []
+        for row in range(nrows):
+            names += self._fill_row(
+                row, count=self.rng.randint(1, 2), gap=(0, 2)
+            )
+        if len(names) > 1 and self.rng.random() < 0.4:
+            self.design.instances[self.rng.choice(names)].fixed = True
+        self._wire(self._random_groups(names, self.rng.randint(1, 3)))
+        self.lx = self.rng.randint(1, 2)
+        self.ly = 1 if nrows > 1 else 0
+        self.allow_flip = self.rng.random() < 0.7
+
+    def build_single_site(self) -> None:
+        # Die exactly one cell wide: the identity is the only candidate.
+        macro = self.rng.choice(self.macros)
+        self._new_design(macro.width_sites, 1)
+        name = self._add_cell(macro, 0, 0)
+        self._wire([[name]])  # pad-anchored net
+        self.lx = self.rng.randint(1, 3)
+        self.ly = 0
+        self.allow_flip = self.rng.random() < 0.5
+
+    def build_all_fixed_row(self) -> None:
+        self._new_design(self.rng.randint(10, 12), 2)
+        self._pack_row(0, fixed=True)
+        movers = self._fill_row(1, count=2, gap=(0, 2))
+        fixed_names = [
+            n for n, i in self.design.instances.items() if i.fixed
+        ]
+        groups = [
+            [m, self.rng.choice(fixed_names)] for m in movers
+        ]
+        if len(movers) >= 2:
+            groups.append(movers[:2])
+        self._wire(groups)
+        self.lx = 2
+        self.ly = 1  # cross-row candidates exist but are all blocked
+        self.allow_flip = True
+
+    def build_dup_pin_x(self) -> None:
+        # Same macro stacked in one column across rows: duplicate pin
+        # x-coordinates and heavy alignment-tie degeneracy.
+        macro = self.rng.choice(self.macros)
+        self._new_design(macro.width_sites + self.rng.randint(2, 4), 2)
+        col = self.rng.randint(0, self.ncols - macro.width_sites)
+        a = self._add_cell(macro, col, 0, flipped=False)
+        b = self._add_cell(macro, col, 1, flipped=False)
+        self._wire([[a, b], [a, b]])
+        self.lx = self.rng.randint(1, 2)
+        self.ly = self.rng.randint(0, 1)
+        self.allow_flip = True
+
+    def build_zero_overlap(self) -> None:
+        # Adjacent columns: pin stripes/bars one track apart, so the
+        # x-interval overlap of connected pins sits at the 0/δ edge.
+        macro = self.rng.choice(self.macros)
+        ncols = 2 * macro.width_sites + 2
+        self._new_design(ncols, 1)
+        a = self._add_cell(macro, 0, 0, flipped=False)
+        b = self._add_cell(macro, macro.width_sites, 0, flipped=False)
+        self._wire([[a, b]])
+        self.lx = 1
+        self.ly = 0
+        self.allow_flip = self.rng.random() < 0.5
+
+    def build_max_density(self) -> None:
+        self._new_design(self.rng.randint(8, 10), self.rng.randint(1, 2))
+        names: list[str] = []
+        for row in range(self.nrows):
+            names += self._pack_row(row)
+        # Keep the enumeration small: at most 3 movable cells.
+        for extra in names[3:]:
+            self.design.instances[extra].fixed = True
+        self._wire(self._random_groups(names, 2))
+        self.lx = 3  # real freedom is bounded by density anyway
+        self.ly = self.nrows - 1
+        self.allow_flip = True
+
+    def finish(self, seed: int, kind: str):
+        design = self.design
+        errors = design.check_legal()
+        if errors:  # builder bug, not a test failure
+            raise AssertionError(
+                f"generator produced illegal case (seed={seed}, "
+                f"kind={kind}): {errors[:3]}"
+            )
+        return design, self.lx, self.ly, self.allow_flip
+
+
+# ------------------------------------------------- metamorphic transforms
+def _copy_case(case: CheckCase) -> CheckCase:
+    """Deep-copy a case (fresh Design; macros/tech shared, immutable)."""
+    old = case.design
+    new = Design(old.name, old.tech, old.die)
+    for name, inst in old.instances.items():
+        clone = new.add_instance(name, inst.macro)
+        clone.x, clone.y = inst.x, inst.y
+        clone.orientation = inst.orientation
+        clone.fixed = inst.fixed
+    for net_name, net in old.nets.items():
+        new.add_net(net_name)
+        for ref in net.pins:
+            new.connect(net_name, ref.instance, ref.pin)
+        new.nets[net_name].pads.extend(net.pads)
+    return CheckCase(
+        design=new,
+        window=case.window,
+        params=case.params,
+        lx=case.lx,
+        ly=case.ly,
+        allow_flip=case.allow_flip,
+        seed=case.seed,
+        kind=case.kind,
+        arch=case.arch,
+    )
+
+
+def translate_x(case: CheckCase, sites: int) -> CheckCase:
+    """Shift the whole case right by ``sites`` whole sites.
+
+    Objective invariant: HPWL, alignment, and overlap are all
+    translation-invariant, so the oracle objective must not change.
+    """
+    dx = sites * case.design.tech.site_width
+    moved = _copy_case(case)
+    d = moved.design
+    d.die = Rect(d.die.xlo + dx, d.die.ylo, d.die.xhi + dx, d.die.yhi)
+    for inst in d.instances.values():
+        inst.x += dx
+    for net in d.nets.values():
+        net.pads = [Point(p.x + dx, p.y) for p in net.pads]
+    rect = case.window.rect
+    moved.window = Window(
+        case.window.ix,
+        case.window.iy,
+        Rect(rect.xlo + dx, rect.ylo, rect.xhi + dx, rect.yhi),
+    )
+    return moved
+
+
+def mirror_x(case: CheckCase) -> CheckCase:
+    """Mirror the whole case about the die's vertical center line.
+
+    Every cell origin maps to ``xlo + xhi − (x + width)`` with its
+    orientation x-flipped; pads mirror likewise.  Objective invariant:
+    mirroring preserves pairwise x-distances, x-equality, and interval
+    overlap lengths, so the oracle objective must not change.
+    """
+    mirrored = _copy_case(case)
+    d = mirrored.design
+    pivot = d.die.xlo + d.die.xhi
+    for inst in d.instances.values():
+        inst.x = pivot - (inst.x + inst.width)
+        inst.orientation = inst.orientation.flipped()
+    for net in d.nets.values():
+        net.pads = [Point(pivot - p.x, p.y) for p in net.pads]
+    rect = case.window.rect
+    mirrored.window = Window(
+        case.window.ix,
+        case.window.iy,
+        Rect(pivot - rect.xhi, rect.ylo, pivot - rect.xlo, rect.yhi),
+    )
+    return mirrored
+
+
+def relabel_nets(case: CheckCase, seed: int = 0) -> CheckCase:
+    """Permute net names with a seeded shuffle.
+
+    Objective invariant: with uniform β (``params.net_beta is None``)
+    the objective is blind to net identity, so a pure renaming must
+    not change it.
+    """
+    old = case.design
+    names = sorted(old.nets)
+    shuffled = list(names)
+    random.Random(seed).shuffle(shuffled)
+    mapping = dict(zip(names, shuffled))
+
+    new = Design(old.name, old.tech, old.die)
+    for name, inst in old.instances.items():
+        clone = new.add_instance(name, inst.macro)
+        clone.x, clone.y = inst.x, inst.y
+        clone.orientation = inst.orientation
+        clone.fixed = inst.fixed
+    for net_name in names:
+        new.add_net(mapping[net_name])
+    for net_name in names:
+        net = old.nets[net_name]
+        for ref in net.pins:
+            new.connect(mapping[net_name], ref.instance, ref.pin)
+        new.nets[mapping[net_name]].pads.extend(net.pads)
+    return CheckCase(
+        design=new,
+        window=case.window,
+        params=case.params,
+        lx=case.lx,
+        ly=case.ly,
+        allow_flip=case.allow_flip,
+        seed=case.seed,
+        kind=case.kind,
+        arch=case.arch,
+    )

@@ -1,0 +1,283 @@
+"""Independent verification oracles.
+
+Everything here is deliberately re-derived from first principles —
+raw macro pin shapes, DEF orientation semantics, and the paper's
+definitions — without touching the production code paths it checks
+(``repro.core.objective``, ``Design.check_legal``, the MILP pin
+expressions).  If a bug creeps into the optimizer's geometry or
+objective bookkeeping, the oracle disagrees and the differential
+harness flags it; a bug would have to be introduced *twice*, in two
+structurally different implementations, to slip through.
+
+Conventions mirrored from the production contract (documented in
+``repro.geometry.orientation``): only the x mirror of an orientation
+moves pin geometry — N/FS row alternation leaves the cell-relative
+pin access point unchanged because ClosedM1 pins span the cell
+vertically and OpenM1 overlap is an x-projection predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import OptParams
+from repro.netlist.design import Design, Instance, Net
+from repro.tech.arch import AlignmentMode
+
+
+@dataclass(frozen=True)
+class OracleStats:
+    """Independently recomputed alignment statistics."""
+
+    num_aligned: int
+    total_overlap: int
+
+
+# ------------------------------------------------------- pin geometry
+def oracle_pin_point(inst: Instance, pin_name: str) -> tuple[int, int]:
+    """Absolute pin access point, recomputed from the raw access shape.
+
+    The access point is the center of the pin's first (access) shape,
+    x-mirrored when the orientation flips the cell — computed here
+    directly from the shape rectangle instead of through the cached
+    ``x_rel``/``pin_position`` helpers the optimizer uses.
+    """
+    shape = inst.macro.pins[pin_name].shapes[0]
+    rect = shape.rect
+    cx = (rect.xlo + rect.xhi) // 2
+    cy = (rect.ylo + rect.yhi) // 2
+    if inst.orientation.value in ("FN", "S"):  # x-mirrored orients
+        cx = inst.macro.width - cx
+    return inst.x + cx, inst.y + cy
+
+
+def oracle_pin_interval(
+    inst: Instance, pin_name: str
+) -> tuple[int, int]:
+    """Absolute x-extent ``[lo, hi]`` of the pin access shape."""
+    rect = inst.macro.pins[pin_name].shapes[0].rect
+    lo, hi = rect.xlo, rect.xhi
+    if inst.orientation.value in ("FN", "S"):
+        lo, hi = inst.macro.width - hi, inst.macro.width - lo
+    return inst.x + lo, inst.x + hi
+
+
+# ----------------------------------------------------------- legality
+def check_legal(design: Design) -> list[str]:
+    """Independent placement legality check; returns violations.
+
+    Re-derives every rule from the technology definition: origins on
+    the site/row grid, footprints inside the die, row-parity-legal
+    orientations (even rows N/FN, odd rows FS/S), and no two cells
+    sharing any (row, site) — the overlap test works on exact site
+    occupancy rather than the production checker's per-row x sweep.
+    """
+    errors: list[str] = []
+    tech = design.tech
+    die = design.die
+    occupancy: dict[tuple[int, int], str] = {}
+    for name in sorted(design.instances):
+        inst = design.instances[name]
+        dx = inst.x - die.xlo
+        dy = inst.y - die.ylo
+        if dx % tech.site_width:
+            errors.append(f"{name}: x={inst.x} not on site grid")
+        if dy % tech.row_height:
+            errors.append(f"{name}: y={inst.y} not on row grid")
+        if inst.height != tech.row_height:
+            errors.append(f"{name}: height {inst.height} != row height")
+        if (
+            inst.x < die.xlo
+            or inst.y < die.ylo
+            or inst.x + inst.width > die.xhi
+            or inst.y + inst.height > die.yhi
+        ):
+            errors.append(f"{name}: footprint outside die")
+            continue
+        if dx % tech.site_width or dy % tech.row_height:
+            continue  # occupancy below assumes on-grid coordinates
+        row = dy // tech.row_height
+        odd_row = bool(row % 2)
+        y_mirrored = inst.orientation.value in ("FS", "S")
+        if y_mirrored != odd_row:
+            errors.append(
+                f"{name}: orientation {inst.orientation.value} "
+                f"illegal in row {row}"
+            )
+        col0 = dx // tech.site_width
+        for col in range(col0, col0 + inst.width // tech.site_width):
+            other = occupancy.get((row, col))
+            if other is not None:
+                errors.append(
+                    f"site ({row},{col}) occupied by both "
+                    f"{other} and {name}"
+                )
+            else:
+                occupancy[(row, col)] = name
+    return errors
+
+
+def check_fixed_unmoved(
+    design: Design,
+    before: dict[str, tuple[int, int, object]],
+) -> list[str]:
+    """Verify no fixed instance moved relative to ``before``.
+
+    ``before`` is a :meth:`Design.placement_snapshot` taken before the
+    optimization step under test.
+    """
+    errors: list[str] = []
+    for name in sorted(design.instances):
+        inst = design.instances[name]
+        if not inst.fixed:
+            continue
+        x0, y0, orient0 = before[name]
+        if (inst.x, inst.y, inst.orientation) != (x0, y0, orient0):
+            errors.append(
+                f"fixed cell {name} moved from ({x0},{y0},"
+                f"{getattr(orient0, 'value', orient0)}) to "
+                f"({inst.x},{inst.y},{inst.orientation.value})"
+            )
+    return errors
+
+
+def check_displacement(
+    design: Design,
+    before: dict[str, tuple[int, int, object]],
+    movable: list[str],
+    window_rect,
+    *,
+    lx: int,
+    ly: int,
+    allow_flip: bool,
+) -> list[str]:
+    """Verify the window contract on every movable cell.
+
+    Each movable cell must stay within ``lx`` sites / ``ly`` rows of
+    its pre-solve position, keep its footprint inside the window, and
+    only change flip state when ``allow_flip`` is set.  Cells *not*
+    listed in ``movable`` must be exactly where they were.
+    """
+    errors: list[str] = []
+    tech = design.tech
+    movable_set = set(movable)
+    for name in sorted(design.instances):
+        inst = design.instances[name]
+        x0, y0, orient0 = before[name]
+        if name not in movable_set:
+            if (inst.x, inst.y, inst.orientation) != (x0, y0, orient0):
+                errors.append(f"non-window cell {name} moved")
+            continue
+        dcol = abs(inst.x - x0) // tech.site_width
+        drow = abs(inst.y - y0) // tech.row_height
+        if dcol > lx:
+            errors.append(
+                f"{name}: moved {dcol} sites in x (limit {lx})"
+            )
+        if drow > ly:
+            errors.append(
+                f"{name}: moved {drow} rows in y (limit {ly})"
+            )
+        flip0 = getattr(orient0, "value", str(orient0)) in ("FN", "S")
+        flip1 = inst.orientation.value in ("FN", "S")
+        if flip0 != flip1 and not allow_flip:
+            errors.append(f"{name}: flipped with allow_flip=False")
+        if not (
+            window_rect.xlo <= inst.x
+            and window_rect.ylo <= inst.y
+            and inst.x + inst.width <= window_rect.xhi
+            and inst.y + inst.height <= window_rect.yhi
+        ):
+            errors.append(f"{name}: escaped the window rect")
+    return errors
+
+
+# ------------------------------------------------ alignment / objective
+def _countable_pairs(net: Net):
+    """Same-net pin pairs on distinct instances, in index order."""
+    pins = net.pins
+    for i in range(len(pins)):
+        for j in range(i + 1, len(pins)):
+            if pins[i].instance != pins[j].instance:
+                yield pins[i], pins[j]
+
+
+def oracle_alignment_stats(
+    design: Design,
+    params: OptParams,
+    nets: list[Net] | None = None,
+) -> OracleStats:
+    """Count dM1 alignments/overlaps straight from pin shapes.
+
+    Semantics follow the paper: ClosedM1 counts same-net pin pairs on
+    distinct cells with identical access-point x within the γ-row
+    vertical span; OpenM1 counts pairs whose access-shape x-extents
+    overlap by at least δ within the span, accumulating the overlap
+    beyond δ.  Nets outside ``[2, max_net_degree]`` terminals are
+    ignored, matching the formulation's pruning.
+    """
+    mode = design.tech.arch.alignment_mode
+    if mode is AlignmentMode.NONE:
+        return OracleStats(0, 0)
+    if nets is None:
+        nets = [design.nets[n] for n in sorted(design.nets)]
+    span = params.gamma * design.tech.row_height
+    aligned = 0
+    overlap_total = 0
+    for net in nets:
+        if not 2 <= net.degree <= params.max_net_degree:
+            continue
+        for ref_p, ref_q in _countable_pairs(net):
+            inst_p = design.instances[ref_p.instance]
+            inst_q = design.instances[ref_q.instance]
+            px, py = oracle_pin_point(inst_p, ref_p.pin)
+            qx, qy = oracle_pin_point(inst_q, ref_q.pin)
+            if abs(py - qy) > span:
+                continue
+            if mode is AlignmentMode.ALIGN:
+                if px == qx:
+                    aligned += 1
+            else:
+                p_lo, p_hi = oracle_pin_interval(inst_p, ref_p.pin)
+                q_lo, q_hi = oracle_pin_interval(inst_q, ref_q.pin)
+                overlap = min(p_hi, q_hi) - max(p_lo, q_lo)
+                if overlap >= params.delta:
+                    aligned += 1
+                    overlap_total += overlap - params.delta
+    return OracleStats(aligned, overlap_total)
+
+
+def oracle_net_hpwl(design: Design, net: Net) -> int:
+    """Net HPWL recomputed from oracle pin points and pad locations."""
+    xs: list[int] = [p.x for p in net.pads]
+    ys: list[int] = [p.y for p in net.pads]
+    for ref in net.pins:
+        x, y = oracle_pin_point(
+            design.instances[ref.instance], ref.pin
+        )
+        xs.append(x)
+        ys.append(y)
+    if len(xs) < 2:
+        return 0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def oracle_objective(
+    design: Design,
+    params: OptParams,
+    nets: list[Net] | None = None,
+) -> float:
+    """The paper's objective β·HPWL − α·#align − ε·overlap, recomputed
+    independently (see :func:`oracle_alignment_stats`)."""
+    if nets is None:
+        nets = [design.nets[n] for n in sorted(design.nets)]
+    stats = oracle_alignment_stats(design, params, nets)
+    hpwl = sum(
+        params.beta_of(net.name) * oracle_net_hpwl(design, net)
+        for net in nets
+        if net.degree >= 2
+    )
+    objective = hpwl - params.alpha * stats.num_aligned
+    if design.tech.arch.alignment_mode is AlignmentMode.OVERLAP:
+        objective -= params.epsilon * stats.total_overlap
+    return objective

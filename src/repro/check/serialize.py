@@ -1,0 +1,177 @@
+"""Reproducer JSON serialization for check cases.
+
+A reproducer captures everything needed to re-run one failing (or
+interesting) :class:`~repro.check.generators.CheckCase` without the
+generator: the full placement, netlist, window, and the solver knobs.
+Macros are referenced by name and rebuilt from the deterministic
+library generator, which keeps the documents small and the schema
+stable across library-internal changes.
+
+Schema: ``repro.check.case/v1``.  Documents live in the committed
+corpus at ``tests/check/corpus/`` and are replayed by
+``tests/check/test_corpus.py`` and ``repro check --replay``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check.generators import CheckCase
+from repro.core.params import OptParams
+from repro.core.window import Window
+from repro.geometry import Orientation, Point, Rect
+from repro.library import build_library
+from repro.netlist.design import Design
+from repro.tech import CellArchitecture, make_tech
+
+SCHEMA = "repro.check.case/v1"
+
+
+def case_to_doc(case: CheckCase, failure: str | None = None) -> dict:
+    """Serialize ``case`` to a plain-JSON document."""
+    design = case.design
+    doc = {
+        "schema": SCHEMA,
+        "seed": case.seed,
+        "kind": case.kind,
+        "arch": case.arch.value,
+        "die": _rect_to_list(design.die),
+        "window": {
+            "ix": case.window.ix,
+            "iy": case.window.iy,
+            "rect": _rect_to_list(case.window.rect),
+        },
+        "lx": case.lx,
+        "ly": case.ly,
+        "allow_flip": case.allow_flip,
+        "params": {
+            "alpha": case.params.alpha,
+            "beta": case.params.beta,
+            "gamma": case.params.gamma,
+            "delta": case.params.delta,
+            "epsilon": case.params.epsilon,
+            "max_net_degree": case.params.max_net_degree,
+        },
+        "instances": [
+            {
+                "name": name,
+                "macro": inst.macro.name,
+                "x": inst.x,
+                "y": inst.y,
+                "orientation": inst.orientation.value,
+                "fixed": inst.fixed,
+            }
+            for name, inst in sorted(design.instances.items())
+        ],
+        "nets": [
+            {
+                "name": name,
+                "pins": [
+                    [ref.instance, ref.pin] for ref in net.pins
+                ],
+                "pads": [[p.x, p.y] for p in net.pads],
+            }
+            for name, net in sorted(design.nets.items())
+        ],
+    }
+    if failure is not None:
+        doc["failure"] = failure
+    return doc
+
+
+def case_from_doc(doc: dict) -> CheckCase:
+    """Rebuild a :class:`CheckCase` from a ``case_to_doc`` document."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} document (schema={doc.get('schema')!r})"
+        )
+    arch = CellArchitecture(doc["arch"])
+    tech = make_tech(arch)
+    library = build_library(tech)
+    design = Design("check", tech, _rect_from_list(doc["die"]))
+    for spec in doc["instances"]:
+        inst = design.add_instance(
+            spec["name"], library.macro(spec["macro"])
+        )
+        inst.x = spec["x"]
+        inst.y = spec["y"]
+        inst.orientation = Orientation(spec["orientation"])
+        inst.fixed = spec["fixed"]
+    for net_spec in doc["nets"]:
+        net = design.add_net(net_spec["name"])
+        for instance, pin in net_spec["pins"]:
+            design.connect(net_spec["name"], instance, pin)
+        net.pads.extend(Point(x, y) for x, y in net_spec["pads"])
+    p = doc["params"]
+    params = OptParams.for_arch(
+        arch,
+        alpha=p["alpha"],
+        beta=p["beta"],
+        gamma=p["gamma"],
+        delta=p["delta"],
+        epsilon=p["epsilon"],
+        max_net_degree=p["max_net_degree"],
+    )
+    win = doc["window"]
+    return CheckCase(
+        design=design,
+        window=Window(
+            win["ix"], win["iy"], _rect_from_list(win["rect"])
+        ),
+        params=params,
+        lx=doc["lx"],
+        ly=doc["ly"],
+        allow_flip=doc["allow_flip"],
+        seed=doc["seed"],
+        kind=doc["kind"],
+        arch=arch,
+    )
+
+
+def clone_design(design: Design) -> Design:
+    """Independent deep copy of a design (macros/tech shared)."""
+    new = Design(design.name, design.tech, design.die)
+    for name, inst in design.instances.items():
+        clone = new.add_instance(name, inst.macro)
+        clone.x, clone.y = inst.x, inst.y
+        clone.orientation = inst.orientation
+        clone.fixed = inst.fixed
+    for net_name, net in design.nets.items():
+        new.add_net(net_name)
+        for ref in net.pins:
+            new.connect(net_name, ref.instance, ref.pin)
+        new.nets[net_name].pads.extend(net.pads)
+    return new
+
+
+def save_reproducer(
+    case: CheckCase, directory: str | Path, failure: str
+) -> Path:
+    """Write a reproducer document into the corpus ``directory``.
+
+    The filename encodes seed/arch/kind, so re-running the same
+    failure overwrites rather than accumulating duplicates.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (
+        f"case-{case.seed}-{case.arch.value}-{case.kind}.json"
+    )
+    doc = case_to_doc(case, failure=failure)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> CheckCase:
+    """Load one reproducer JSON back into a replayable case."""
+    doc = json.loads(Path(path).read_text())
+    return case_from_doc(doc)
+
+
+def _rect_to_list(rect: Rect) -> list[int]:
+    return [rect.xlo, rect.ylo, rect.xhi, rect.yhi]
+
+
+def _rect_from_list(vals) -> Rect:
+    return Rect(*vals)

@@ -13,6 +13,10 @@ Subcommands:
   manager over an on-disk journal; see :mod:`repro.service`).
 * ``repro submit`` — submit a flow job to a running service.
 * ``repro jobs`` — list/inspect/cancel/watch service jobs.
+* ``repro check`` — differential verification: fuzz seeded window
+  cases against the independent oracle + brute-force optimum
+  (:mod:`repro.check`), replay corpus reproducers, and run the
+  presolve/executor/resume equivalence axes.
 
 Run ``repro <subcommand> --help`` for options.
 """
@@ -269,6 +273,74 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Imported here: the verification stack is heavy and only this
+    # subcommand needs it.
+    from repro.check import fuzz, replay_reproducer
+    from repro.check.differential import (
+        check_executor_axis,
+        check_resume_axis,
+    )
+
+    if args.replay:
+        failed = False
+        for path in args.replay:
+            report = replay_reproducer(
+                path, max_assignments=args.max_assignments
+            )
+            print(f"{path}: {report.describe()}")
+            failed |= not report.ok
+        return 1 if failed else 0
+
+    axes = set(args.axes.split(","))
+    unknown = axes - {"brute", "presolve", "executor", "resume"}
+    if unknown:
+        print(f"unknown axes: {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    arch = _ARCHS[args.arch] if args.arch else None
+
+    def progress(seed: int, report) -> None:
+        if report.status == "failed":
+            print(f"FAIL {report.describe()}", file=sys.stderr)
+
+    summary = fuzz(
+        args.fuzz,
+        start_seed=args.seed,
+        arch=arch,
+        kind=args.kind,
+        corpus_dir=args.corpus,
+        max_assignments=args.max_assignments,
+        presolve_axis="presolve" in axes,
+        progress=progress,
+    )
+    axis_errors: dict[str, list[str]] = {}
+    if "executor" in axes:
+        axis_errors["executor"] = check_executor_axis()
+    if "resume" in axes:
+        axis_errors["resume"] = check_resume_axis()
+
+    doc = summary.to_dict()
+    doc["axes"] = {name: errs for name, errs in axis_errors.items()}
+    if args.json:
+        print(json.dumps(doc, indent=1))
+    else:
+        print(
+            f"fuzz: {summary.certified} certified, "
+            f"{summary.skipped} skipped, {summary.failed} failed "
+            f"of {summary.total} cases "
+            f"({summary.assignments_enumerated} assignments "
+            f"enumerated)"
+        )
+        for name, errs in axis_errors.items():
+            state = "ok" if not errs else f"FAILED: {errs}"
+            print(f"axis {name}: {state}")
+        for path in summary.reproducers:
+            print(f"reproducer -> {path}")
+    ok = summary.ok and not any(axis_errors.values())
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +489,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream --job progress events (NDJSON) until terminal",
     )
     jobs.set_defaults(func=_cmd_jobs)
+
+    check = sub.add_parser(
+        "check",
+        help="differential verification: fuzz windows vs the oracle "
+        "and brute-force optimum",
+    )
+    check.add_argument(
+        "--fuzz", type=_positive_int, default=50, metavar="N",
+        help="number of seeded cases to generate and certify",
+    )
+    check.add_argument(
+        "--seed", type=int, default=0, help="first case seed"
+    )
+    check.add_argument(
+        "--arch", choices=sorted(_ARCHS),
+        help="pin the architecture (default: drawn per seed)",
+    )
+    check.add_argument(
+        "--kind",
+        help="pin the adversarial case kind (default: drawn per seed)",
+    )
+    check.add_argument(
+        "--corpus", metavar="DIR",
+        help="write shrunk failure reproducers into DIR",
+    )
+    check.add_argument(
+        "--replay", nargs="+", metavar="JSON",
+        help="replay reproducer files instead of fuzzing",
+    )
+    check.add_argument(
+        "--axes", default="brute,presolve",
+        help="comma list of axes to run: brute,presolve,executor,"
+        "resume (default: brute,presolve)",
+    )
+    check.add_argument(
+        "--max-assignments", type=_positive_int, default=50_000,
+        help="brute-force enumeration cap per window",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="print a JSON summary"
+    )
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -67,6 +67,46 @@ class HighsBackend:
         self.mip_rel_gap = mip_rel_gap
         self.native_presolve = native_presolve
 
+    @staticmethod
+    def _invoke(arrays, options: dict):
+        """One HiGHS call; returns ``(status_code, message, x)``."""
+        if _highs_wrapper is not None and arrays.a is not None:
+            csc = arrays.a.tocsc()
+            highs_res = _highs_wrapper(
+                arrays.c,
+                csc.indptr,
+                csc.indices,
+                csc.data,
+                arrays.lo,
+                arrays.hi,
+                arrays.lb,
+                arrays.ub,
+                arrays.integrality.astype(np.uint8),
+                {
+                    "log_to_console": False,
+                    "mip_max_nodes": None,
+                    **options,
+                },
+            )
+            status, message = _highs_to_scipy_status_message(
+                highs_res.get("status"),
+                highs_res.get("message"),
+            )
+            return status, message, highs_res.get("x")
+        constraints = None
+        if arrays.a is not None:
+            constraints = LinearConstraint(
+                arrays.a, arrays.lo, arrays.hi
+            )
+        result = milp(
+            arrays.c,
+            constraints=constraints,
+            integrality=arrays.integrality,
+            bounds=Bounds(arrays.lb, arrays.ub),
+            options=options,
+        )
+        return result.status, result.message, result.x
+
     def solve(self, model: Model) -> Solution:
         """Solve ``model`` (minimization)."""
         started = time.perf_counter()
@@ -94,47 +134,22 @@ class HighsBackend:
         if not native:
             options["presolve"] = False
 
-        if _highs_wrapper is not None and arrays.a is not None:
-            csc = arrays.a.tocsc()
-            highs_res = _highs_wrapper(
-                arrays.c,
-                csc.indptr,
-                csc.indices,
-                csc.data,
-                arrays.lo,
-                arrays.hi,
-                arrays.lb,
-                arrays.ub,
-                arrays.integrality.astype(np.uint8),
-                {
-                    "log_to_console": False,
-                    "mip_max_nodes": None,
-                    **options,
-                },
+        result_status, result_message, result_x = self._invoke(
+            arrays, options
+        )
+        if (
+            _STATUS_MAP.get(result_status) is SolveStatus.ERROR
+            and options.get("presolve") is not False
+        ):
+            # HiGHS' own presolve occasionally reports Status 4
+            # ("Solve error") on small well-posed mixed models that
+            # solve cleanly without it; retry once with native
+            # presolve off before surfacing an error.  The retry is a
+            # pure function of the first outcome, so determinism
+            # across runs/executors is preserved.
+            result_status, result_message, result_x = self._invoke(
+                arrays, {**options, "presolve": False}
             )
-            result_status, result_message = (
-                _highs_to_scipy_status_message(
-                    highs_res.get("status"),
-                    highs_res.get("message"),
-                )
-            )
-            result_x = highs_res.get("x")
-        else:
-            constraints = None
-            if arrays.a is not None:
-                constraints = LinearConstraint(
-                    arrays.a, arrays.lo, arrays.hi
-                )
-            result = milp(
-                arrays.c,
-                constraints=constraints,
-                integrality=arrays.integrality,
-                bounds=Bounds(arrays.lb, arrays.ub),
-                options=options,
-            )
-            result_status = result.status
-            result_message = result.message
-            result_x = result.x
         elapsed = time.perf_counter() - started
 
         status = _STATUS_MAP.get(result_status, SolveStatus.ERROR)

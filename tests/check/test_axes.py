@@ -1,0 +1,36 @@
+"""The differential equivalence axes: presolve on/off, serial vs
+pooled executors, and checkpoint-resume vs straight run.
+
+The quick variants run in tier-1; the heavyweight process-pool and
+full-flow resume variants carry ``slow`` and run in the nightly job
+(plus the check-smoke CI job via ``repro check --axes ...``).
+"""
+
+import pytest
+
+from repro.check import generate_case
+from repro.check.differential import (
+    check_executor_axis,
+    check_presolve_axis,
+    check_resume_axis,
+)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_presolve_axis_on_generated_cases(seed):
+    errors = check_presolve_axis(generate_case(seed))
+    assert errors == []
+
+
+def test_executor_axis_thread_matches_serial():
+    assert check_executor_axis(kinds=("serial", "thread")) == []
+
+
+@pytest.mark.slow
+def test_executor_axis_process_matches_serial():
+    assert check_executor_axis(kinds=("serial", "process")) == []
+
+
+@pytest.mark.slow
+def test_resume_axis_matches_straight_run():
+    assert check_resume_axis() == []

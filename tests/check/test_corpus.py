@@ -1,0 +1,56 @@
+"""Replay every committed corpus reproducer; all must run clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import generate_case, replay_reproducer, run_case
+from repro.check.serialize import (
+    case_from_doc,
+    case_to_doc,
+    load_reproducer,
+    save_reproducer,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+DOCS = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert DOCS, "the committed corpus must hold at least one case"
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.stem)
+def test_corpus_reproducer_replays_clean(path):
+    report = replay_reproducer(path)
+    assert report.ok, report.describe()
+
+
+def test_save_load_roundtrip(tmp_path):
+    case = generate_case(11)
+    path = save_reproducer(case, tmp_path, failure="unit test")
+    loaded = load_reproducer(path)
+    assert case_to_doc(loaded) == case_to_doc(case)
+    # The document itself carries the failure note.
+    import json
+
+    doc = json.loads(path.read_text())
+    assert doc["failure"] == "unit test"
+    assert doc["schema"] == "repro.check.case/v1"
+
+
+def test_case_from_doc_rejects_wrong_schema():
+    doc = case_to_doc(generate_case(0))
+    doc["schema"] = "repro.check.case/v999"
+    with pytest.raises(ValueError, match="not a repro.check.case/v1"):
+        case_from_doc(doc)
+
+
+def test_loaded_case_certifies_like_the_original(tmp_path):
+    case = generate_case(13)
+    original = run_case(case)
+    path = save_reproducer(case, tmp_path, failure="roundtrip probe")
+    replayed = run_case(load_reproducer(path))
+    assert replayed.status == original.status
+    if original.status == "certified":
+        assert replayed.brute_objective == original.brute_objective

@@ -1,0 +1,104 @@
+"""Case generators: determinism, legality of every kind, and the
+metamorphic objective invariants."""
+
+import pytest
+
+from repro.check.generators import (
+    CASE_KINDS,
+    generate_case,
+    mirror_x,
+    relabel_nets,
+    translate_x,
+)
+from repro.check.oracle import oracle_objective
+from repro.check.serialize import case_to_doc
+from repro.tech import CellArchitecture
+
+
+def test_same_seed_same_case():
+    for seed in range(10):
+        a = case_to_doc(generate_case(seed))
+        b = case_to_doc(generate_case(seed))
+        assert a == b, seed
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown case kind"):
+        generate_case(0, kind="nope")
+
+
+@pytest.mark.parametrize("kind", CASE_KINDS)
+@pytest.mark.parametrize(
+    "arch", list(CellArchitecture), ids=lambda a: a.value
+)
+def test_every_kind_produces_a_legal_case(kind, arch):
+    for seed in range(5):
+        case = generate_case(seed, arch=arch, kind=kind)
+        assert case.kind == kind and case.arch is arch
+        assert case.design.check_legal() == []
+        assert case.design.instances
+        # Every instance sits fully inside the (single) window.
+        for inst in case.design.instances.values():
+            assert case.window.rect.contains_rect(inst.bbox)
+
+
+def test_single_site_case_has_no_freedom():
+    case = generate_case(3, kind="single_site")
+    inst = next(iter(case.design.instances.values()))
+    assert inst.width == case.design.die.width
+
+
+def test_all_fixed_row_has_fixed_row():
+    case = generate_case(3, kind="all_fixed_row")
+    fixed_rows = {
+        case.design.row_of(i)
+        for i in case.design.instances.values()
+        if i.fixed
+    }
+    assert 0 in fixed_rows
+
+
+def test_dup_pin_x_duplicates_pin_x_coords():
+    case = generate_case(3, kind="dup_pin_x")
+    from repro.check.oracle import oracle_pin_point
+
+    xs = [
+        oracle_pin_point(inst, pin_name)[0]
+        for inst in case.design.instances.values()
+        for pin_name in inst.macro.pins
+    ]
+    assert len(set(xs)) < len(xs)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_metamorphic_invariants(seed):
+    case = generate_case(seed)
+    base = oracle_objective(case.design, case.params)
+
+    translated = translate_x(case, 5)
+    assert translated.design.check_legal() == []
+    assert oracle_objective(
+        translated.design, translated.params
+    ) == pytest.approx(base)
+
+    mirrored = mirror_x(case)
+    assert mirrored.design.check_legal() == []
+    assert oracle_objective(
+        mirrored.design, mirrored.params
+    ) == pytest.approx(base)
+
+    relabeled = relabel_nets(case, seed + 1)
+    assert relabeled.design.check_legal() == []
+    assert sorted(relabeled.design.nets) == sorted(case.design.nets)
+    assert oracle_objective(
+        relabeled.design, relabeled.params
+    ) == pytest.approx(base)
+
+
+def test_transforms_do_not_mutate_the_original():
+    case = generate_case(1)
+    doc = case_to_doc(case)
+    translate_x(case, 4)
+    mirror_x(case)
+    relabel_nets(case, 9)
+    assert case_to_doc(case) == doc

@@ -44,6 +44,7 @@ def test_expt_a1_rows(quick):
     assert knee in rows
 
 
+@pytest.mark.slow  # benchmark-adjacent: full ExptB flow on one design
 def test_expt_b_single_design(quick):
     rows = expt_b_table2(
         quick,

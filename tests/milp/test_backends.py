@@ -132,3 +132,21 @@ def test_highs_unbounded():
     m.minimize(x)
     status = HighsBackend().solve(m).status
     assert status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+
+def test_error_status_retries_without_native_presolve():
+    """Regression (hypothesis seed 13374): HiGHS' own presolve
+    reports Status 4 ("Solve error") on this small well-posed mixed
+    model even though it solves cleanly with presolve off.  The
+    backend must retry and return the true optimum."""
+    m = Model("rand13374")
+    b0 = m.add_binary("b0")
+    b1 = m.add_binary("b1")
+    c0 = m.add_continuous("c0", 0, 5)
+    c1 = m.add_continuous("c1", 0, 5)
+    m.add_constraint((-2 * b0 - 4 * b1 + c0 + 2 * c1) <= 2.0)
+    m.add_constraint((-3 * b1 - c0 + 3 * c1) <= 2.0)
+    m.minimize(4 * b0 + 4 * b1 + 3 * c0 - 3 * c1)
+    sol = HighsBackend().solve(m)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(-2.0)

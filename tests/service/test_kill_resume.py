@@ -24,6 +24,9 @@ import pytest
 
 from repro.service import ServiceClient
 
+# Subprocess SIGKILL/SIGTERM round trips take ~15s; nightly tier.
+pytestmark = pytest.mark.slow
+
 SPEC = {
     "profile": "aes",
     "scale": 0.02,
