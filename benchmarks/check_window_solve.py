@@ -1,7 +1,7 @@
 """Perf smoke gate for the window-solve hot path.
 
-Reads ``BENCH_window_solve.json`` (written by running
-``benchmarks/test_microbench.py``) and fails when the combined
+Reads ``benchmarks/results/BENCH_window_solve.json`` (written by
+running ``benchmarks/test_microbench.py``) and fails when the combined
 build + presolve + solve time on the fixture window has regressed more
 than ``MAX_REGRESSION``x past the committed pre-hot-path baseline in
 ``benchmarks/results/window_solve_baseline.json``.
@@ -19,8 +19,9 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-REPORT = REPO_ROOT / "BENCH_window_solve.json"
-BASELINE = Path(__file__).parent / "results" / "window_solve_baseline.json"
+RESULTS_DIR = Path(__file__).parent / "results"
+REPORT = RESULTS_DIR / "BENCH_window_solve.json"
+BASELINE = RESULTS_DIR / "window_solve_baseline.json"
 
 #: Fail when combined time exceeds baseline * MAX_REGRESSION.
 MAX_REGRESSION = 3.0

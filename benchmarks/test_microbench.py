@@ -7,7 +7,7 @@ reductions, the (presolved) window MILP solve, and full-design routing
 made of.
 
 After the module runs, the per-stage medians are written to
-``BENCH_window_solve.json`` at the repository root together with the
+``benchmarks/results/BENCH_window_solve.json`` together with the
 committed pre-hot-path baseline
 (``benchmarks/results/window_solve_baseline.json``) and the resulting
 combined build+presolve+solve speedup.  CI uploads the file as an
@@ -30,10 +30,9 @@ from repro.routing import DetailedRouter
 from repro.tech import CellArchitecture, make_tech
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE_PATH = (
-    Path(__file__).parent / "results" / "window_solve_baseline.json"
-)
-REPORT_PATH = REPO_ROOT / "BENCH_window_solve.json"
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "window_solve_baseline.json"
+REPORT_PATH = RESULTS_DIR / "BENCH_window_solve.json"
 
 #: Stage name -> {"median": s, "min": s}, filled by each bench below.
 _stage_stats: dict[str, dict[str, float]] = {}
@@ -49,7 +48,12 @@ def _record(name: str, benchmark) -> None:
 
 @pytest.fixture(scope="module", autouse=True)
 def window_solve_report():
-    """Write ``BENCH_window_solve.json`` once the benches have run."""
+    """Write the bench report once the benches have run.
+
+    Reports are working artifacts, not source: they land in
+    ``benchmarks/results/`` (gitignored apart from the committed
+    baseline) instead of the repository root.
+    """
     yield
     if not _stage_stats:
         return
@@ -98,6 +102,7 @@ def window_solve_report():
             report["speedup_vs_baseline_median"] = (
                 base_med / combined
             )
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
     REPORT_PATH.write_text(json.dumps(report, indent=1) + "\n")
 
 

@@ -70,6 +70,28 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type: integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (got {value})"
+        )
+    return value
+
+
+def _shards_value(text: str) -> int | str:
+    """argparse type for ``--shards``: a positive int or ``auto``."""
+    if text == "auto":
+        return "auto"
+    return _positive_int(text)
+
+
 def _positive_float(text: str) -> float:
     """argparse type: strictly positive float."""
     try:
@@ -141,8 +163,20 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         presolve=not args.no_presolve,
         window_cache=not args.no_window_cache,
+        shards=args.shards,
+        halo_rows=args.halo_rows,
     )
     result = run_flow(config)
+    if result.shard is not None:
+        summary = result.shard.summary()
+        print(
+            f"sharded x{summary['num_shards']} "
+            f"(halo {summary['halo_rows']} rows, "
+            f"{summary['boundary_nets']} boundary nets, "
+            f"seam applied {summary['seam_windows_applied']} windows, "
+            f"legal={summary['legal']})",
+            file=sys.stderr,
+        )
     if args.telemetry and result.telemetry is not None:
         path = result.telemetry.save(args.telemetry)
         print(f"telemetry -> {path}", file=sys.stderr)
@@ -190,6 +224,8 @@ def _spec_from_args(args: argparse.Namespace) -> dict:
         "time_limit": args.time_limit,
         "executor": args.executor,
         "jobs": args.jobs,
+        "shards": args.shards,
+        "halo_rows": args.halo_rows,
     }
     if args.no_presolve:
         spec["presolve"] = False
@@ -386,6 +422,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the cross-pass window-solve cache",
     )
     flow.add_argument(
+        "--shards", type=_shards_value, default=1, metavar="N|auto",
+        help="region-shard the die into N row bands for full-chip "
+        "scale-out ('auto' sizes from the design and --jobs; 1 = "
+        "classic unsharded run)",
+    )
+    flow.add_argument(
+        "--halo-rows", type=_nonnegative_int, default=2,
+        help="frozen ghost rows around each shard's core band",
+    )
+    flow.add_argument(
         "--telemetry", default="",
         help="write runtime telemetry JSON to this path",
     )
@@ -459,6 +505,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--no-presolve", action="store_true")
     submit.add_argument("--no-window-cache", action="store_true")
+    submit.add_argument(
+        "--shards", type=_shards_value, default=1, metavar="N|auto",
+        help="region-shard count for the job (int or 'auto')",
+    )
+    submit.add_argument(
+        "--halo-rows", type=_nonnegative_int, default=2,
+        help="frozen ghost rows around each shard's core band",
+    )
     submit.add_argument(
         "--wait", action="store_true",
         help="block until the job finishes and print its Table-2 row",

@@ -92,6 +92,7 @@ def dist_opt(
     pass_label: str = "distopt",
     presolve: bool = True,
     cache=None,
+    window_filter=None,
 ) -> DistOptResult:
     """Run one DistOpt pass over the whole design.
 
@@ -118,6 +119,10 @@ def dist_opt(
             :class:`~repro.core.windowcache.WindowSolveCache`; windows
             whose content hash matches a previously-cached fixpoint
             are skipped without building or solving.
+        window_filter: optional predicate ``Window -> bool``; when
+            given, only accepted windows are optimized (the shard
+            layer's seam pass restricts a DistOpt to the windows
+            straddling shard boundaries).
 
     Returns:
         A :class:`DistOptResult`; ``objective`` is the global
@@ -143,6 +148,8 @@ def dist_opt(
     )
 
     windows = partition(design, tx, ty, bw, bh)
+    if window_filter is not None:
+        windows = [w for w in windows if window_filter(w)]
     families = independent_families(windows)
     result.family_count = len(families)
 

@@ -49,6 +49,14 @@ class CacheToken:
     content: bytes
 
 
+#: Default LRU capacity.  Sized for full-chip shard runs: a shard's
+#: working set is (windows per pass) x (distinct grid phases), a few
+#: thousand at 100k cells; entries are ~60 bytes, so the cap bounds
+#: the cache at a few MB instead of letting a long run grow without
+#: limit.
+DEFAULT_MAX_ENTRIES = 65_536
+
+
 class WindowSolveCache:
     """Fixpoint cache over window solves (one instance per VM1Opt run).
 
@@ -56,13 +64,28 @@ class WindowSolveCache:
     means the window may be skipped outright.  After a solve whose
     outcome is a fixpoint (``no_move``/``reverted`` with an ``OPTIMAL``
     status), call :meth:`store` with the probe's token.
+
+    Memory is bounded by a max-entry LRU policy (``max_entries``;
+    probes refresh recency, stores evict the stalest entry at
+    capacity).  Eviction is *safe* by the same argument that makes the
+    cache sound: an evicted fixpoint merely re-solves to the identical
+    non-move, so capacity changes performance, never placements.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, max_entries: int = DEFAULT_MAX_ENTRIES
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        #: insertion/refresh order == LRU order (dicts are ordered).
         self._entries: dict[CacheKey, bytes] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,6 +114,8 @@ class WindowSolveCache:
         hit = self._entries.get(key) == content
         if hit:
             self.hits += 1
+            # Refresh recency: re-insert at the most-recent end.
+            self._entries[key] = self._entries.pop(key)
         return hit, token
 
     def note_miss(self) -> None:
@@ -99,6 +124,11 @@ class WindowSolveCache:
 
     def store(self, token: CacheToken) -> None:
         """Remember a fixpoint outcome for the token's content."""
+        if token.key in self._entries:
+            self._entries.pop(token.key)
+        elif len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
         self._entries[token.key] = token.content
         self.stores += 1
 
@@ -134,6 +164,14 @@ class WindowSolveCache:
                 bool(raw_key[6]),
             )
             entries[key] = bytes.fromhex(content_hex)
+        if len(entries) > self.max_entries:
+            # Snapshots are key-sorted (recency is not serialized);
+            # keep the cap by dropping arbitrary-but-deterministic
+            # overflow.  Dropped fixpoints just re-solve to non-moves.
+            overflow = len(entries) - self.max_entries
+            self.evictions += overflow
+            for key in list(entries)[:overflow]:
+                entries.pop(key)
         self._entries = entries
 
     @staticmethod

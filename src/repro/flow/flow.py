@@ -12,6 +12,8 @@ from repro.library import Library, build_library
 from repro.netlist import Design, generate_design
 from repro.placement import place_design
 from repro.routing import DetailedRouter, RouteMetrics, RouterConfig
+from repro.shard.partition import resolve_shard_count
+from repro.shard.runner import ShardRunResult, run_sharded
 from repro.tech import CellArchitecture, Technology, make_tech
 from repro.timing import (
     PowerReport,
@@ -49,6 +51,13 @@ class FlowConfig:
             every solve (behaviour-preserving speedup).
         window_cache: skip windows unchanged since their last
             fixpoint solve (behaviour-preserving speedup).
+        shards: region-shard count for full-chip scale-out — a
+            positive int or ``"auto"`` (sized from the design and
+            ``jobs``; see :func:`repro.shard.resolve_shard_count`).
+            ``1`` (the default) runs the classic unsharded optimizer
+            and is byte-identical to releases without the shard layer.
+        halo_rows: frozen ghost rows around each shard's core band
+            (ignored when the resolved shard count is 1).
     """
 
     profile: str = "aes"
@@ -68,6 +77,8 @@ class FlowConfig:
     jobs: int = 1
     presolve: bool = True
     window_cache: bool = True
+    shards: int | str = 1
+    halo_rows: int = 2
 
     def resolved_params(self, tech: Technology) -> OptParams:
         if self.params is not None:
@@ -92,6 +103,9 @@ class FlowResult:
     init_timing: TimingReport
     init_power: PowerReport
     opt: VM1OptResult | None = None
+    #: populated only when the run actually sharded (resolved >= 2);
+    #: ``opt`` then holds ``shard.to_vm1_result()``.
+    shard: "ShardRunResult | None" = None
     final_route: RouteMetrics | None = None
     final_timing: TimingReport | None = None
     final_power: PowerReport | None = None
@@ -110,6 +124,8 @@ def run_flow(
     progress=None,
     checkpoint_sink=None,
     resume=None,
+    shard_checkpoint_dir=None,
+    shard_resume=False,
 ) -> FlowResult:
     """Run the complete flow described by ``config``.
 
@@ -134,6 +150,18 @@ def run_flow(
             restores the checkpointed placement and skips every
             already-completed pass, finishing with a placement
             byte-identical to an uninterrupted run.
+        shard_checkpoint_dir: directory for shard-granular crash-safe
+            state when the run shards (resolved ``config.shards`` >=
+            2); see :class:`repro.shard.ShardCheckpointStore`.
+            ``checkpoint_sink``/``resume`` govern the unsharded path,
+            this pair governs the sharded one.
+        shard_resume: continue a sharded run from
+            ``shard_checkpoint_dir`` (finished shards fast-forward,
+            the interrupted shard resumes from its pass checkpoint).
+
+    A sharded run reports extra ``progress`` stages (``shard_plan`` /
+    ``shard`` / ``seam`` / ``stitch``) instead of per-pass entries,
+    and fills ``FlowResult.shard``.
     """
     started = time.perf_counter()
     tech = make_tech(config.arch)
@@ -195,34 +223,34 @@ def run_flow(
                 params,
                 net_beta=criticality_weights(design, init_timing),
             )
-        with make_executor(config.executor, config.jobs) as executor:
-            telemetry = RunTelemetry(
-                executor=executor.name, jobs=executor.jobs
-            )
-            vm1_progress = None
-            if progress is not None:
-
-                def vm1_progress(kind, pass_result):
-                    entry = (
-                        dict(telemetry.passes[-1])
-                        if telemetry.passes
-                        else {}
-                    )
-                    entry["kind"] = kind
-                    progress("pass", entry)
-
-            result.opt = vm1_opt(
+        num_shards = resolve_shard_count(
+            design, config.shards, config.jobs, config.halo_rows
+        )
+        if num_shards >= 2:
+            result.shard = run_sharded(
                 design,
                 params,
-                executor=executor,
-                telemetry=telemetry,
-                progress=vm1_progress,
+                shards=num_shards,
+                halo_rows=config.halo_rows,
+                jobs=config.jobs,
+                executor=config.executor,
                 presolve=config.presolve,
                 window_cache=config.window_cache,
+                checkpoint_dir=shard_checkpoint_dir,
+                resume=shard_resume,
+                progress=progress,
+            )
+            result.opt = result.shard.to_vm1_result()
+        else:
+            result.opt = _run_unsharded(
+                config,
+                design,
+                params,
+                result,
+                progress=progress,
                 checkpoint_sink=checkpoint_sink,
                 resume=resume,
             )
-            result.telemetry = telemetry
         final_router = DetailedRouter(design, config.router)
         result.final_route = final_router.route()
         result.final_timing = analyze_timing(
@@ -244,6 +272,53 @@ def run_flow(
             )
     result.total_seconds = time.perf_counter() - started
     return result
+
+
+def _run_unsharded(
+    config: FlowConfig,
+    design: Design,
+    params: OptParams,
+    result: FlowResult,
+    *,
+    progress,
+    checkpoint_sink,
+    resume,
+) -> VM1OptResult:
+    """The classic single-region optimizer path (shards resolved to 1).
+
+    Kept as its own function so the sharded branch cannot perturb it:
+    this path is what every byte-identity expectation in the test
+    suite pins.
+    """
+    with make_executor(config.executor, config.jobs) as executor:
+        telemetry = RunTelemetry(
+            executor=executor.name, jobs=executor.jobs
+        )
+        vm1_progress = None
+        if progress is not None:
+
+            def vm1_progress(kind, pass_result):
+                entry = (
+                    dict(telemetry.passes[-1])
+                    if telemetry.passes
+                    else {}
+                )
+                entry["kind"] = kind
+                progress("pass", entry)
+
+        opt = vm1_opt(
+            design,
+            params,
+            executor=executor,
+            telemetry=telemetry,
+            progress=vm1_progress,
+            presolve=config.presolve,
+            window_cache=config.window_cache,
+            checkpoint_sink=checkpoint_sink,
+            resume=resume,
+        )
+        result.telemetry = telemetry
+    return opt
 
 
 def _pct(init: float, final: float) -> float:

@@ -35,6 +35,13 @@ from repro.tech.technology import Technology
 #: Flops per clock-tree leaf buffer.
 _FLOPS_PER_CLOCK_BUFFER = 40
 
+#: Gate count at and above which signal-net wiring switches from the
+#: original per-pin rejection-sampling loop to the vectorized
+#: locality-bucketed path (``wiring="auto"``).  Designs below the
+#: threshold keep the legacy RNG stream bit for bit, so every
+#: committed small-scale expectation stays valid.
+_BUCKETED_WIRING_MIN = 20_000
+
 
 @dataclass(frozen=True)
 class DesignProfile:
@@ -269,6 +276,16 @@ def _wire_signal_nets(
     two-sided geometric distance away, producing Rent-like locality.
     Driver sampling is also weighted so the resulting fanout
     distribution is heavy-tailed around ``profile.mean_fanout``.
+
+    Two implementations share the same acceptance rule:
+
+    * the original per-pin rejection loop (kept bit-identical for
+      designs under :data:`_BUCKETED_WIRING_MIN` gates, whose RNG
+      stream existing expectations depend on), and
+    * a vectorized path for large designs
+      (:func:`_wire_inputs_bucketed`) that runs the same rejection
+      process in whole-array rounds and resolves the rare exhausted
+      pins from a locality-sorted candidate pool.
     """
     n = len(gate_names)
     # Net of gate i's output pin.
@@ -284,6 +301,10 @@ def _wire_signal_nets(
         design.instances[name].macro.spec.is_sequential
         for name in gate_names
     ]
+
+    if n >= _BUCKETED_WIRING_MIN:
+        _wire_inputs_bucketed(design, gate_names, is_seq, p_geom, rng)
+        return
 
     def acceptable(i: int, j: int) -> bool:
         """Keep combinational logic acyclic: a combinational gate may
@@ -312,6 +333,131 @@ def _wire_signal_nets(
                 else:
                     j = (i + 1) % n  # degenerate tiny all-comb design
             design.connect(f"n{j:06d}", name, pin.name)
+
+
+def _data_input_pins(design: Design, gate_names: list[str]):
+    """Yield ``(gate_index, pin_name)`` for every non-clock input, in
+    the same order the legacy wiring loop visits them."""
+    per_macro: dict[str, list[str]] = {}
+    for i, name in enumerate(gate_names):
+        macro = design.instances[name].macro
+        pins = per_macro.get(macro.name)
+        if pins is None:
+            pins = [
+                p.name
+                for p in macro.input_pins
+                if p.name != macro.spec.clock_pin
+            ]
+            per_macro[macro.name] = pins
+        for pin in pins:
+            yield i, pin
+
+
+def _wire_inputs_bucketed(
+    design: Design,
+    gate_names: list[str],
+    is_seq: list[bool],
+    p_geom: float,
+    rng: np.random.RandomState,
+) -> None:
+    """Vectorized driver selection for large designs.
+
+    The legacy loop draws from the RNG once per rejection attempt per
+    pin — hundreds of thousands of scalar ``rng.geometric`` /
+    ``rng.random_sample`` calls that dominate 50k+-cell generation.
+    This path runs the *same* rejection process in whole-array rounds:
+    each round draws (distance, sign) for every still-unassigned pin
+    at once and keeps the draws the acceptance rule admits.  The
+    active set shrinks geometrically, so total drawn values stay
+    within ~2x the pin count.
+
+    Pins that exhaust all rounds (possible only near the low-index
+    boundary, where a combinational sink has few acceptable drivers)
+    are resolved from the locality-sorted candidate pool: the always-
+    acceptable drivers — flops, plus the sink's lower-index neighbor —
+    sorted by structural position, snapping each pin to the pool
+    member nearest its last drawn target so the geometric locality
+    profile is preserved.
+
+    The RNG stream differs from the legacy loop's, which is why this
+    path is gated to ``n >= _BUCKETED_WIRING_MIN`` where no committed
+    design expectations exist.
+    """
+    n = len(gate_names)
+    sinks: list[int] = []
+    pin_names: list[str] = []
+    for i, pin in _data_input_pins(design, gate_names):
+        sinks.append(i)
+        pin_names.append(pin)
+    m = len(sinks)
+    if m == 0:
+        return
+    seq = np.asarray(is_seq, dtype=bool)
+    i_arr = np.asarray(sinks, dtype=np.int64)
+
+    drivers = np.full(m, -1, dtype=np.int64)
+    last_target = i_arr.copy()
+    active = np.arange(m)
+    for _attempt in range(12):
+        if active.size == 0:
+            break
+        ia = i_arr[active]
+        distance = rng.geometric(p_geom, size=active.size).astype(
+            np.int64
+        )
+        sign = np.where(
+            rng.random_sample(active.size) < 0.5, -1, 1
+        ).astype(np.int64)
+        cand = ia + sign * distance
+        clipped = np.clip(cand, 0, n - 1)
+        last_target[active] = clipped
+        ok = (cand >= 0) & (cand < n) & (cand != ia)
+        ok &= seq[clipped] | seq[ia] | (cand < ia)
+        drivers[active[ok]] = cand[ok]
+        active = active[~ok]
+    if active.size:
+        drivers[active] = _snap_to_pool(
+            i_arr[active], last_target[active], n, seq
+        )
+
+    nets = [f"n{j:06d}" for j in drivers]
+    for k in range(m):
+        design.connect(nets[k], gate_names[i_arr[k]], pin_names[k])
+
+
+def _snap_to_pool(
+    i_bad: np.ndarray, t_bad: np.ndarray, n: int, seq: np.ndarray
+) -> np.ndarray:
+    """Resolve rejection-exhausted pins from the acceptable-driver pool.
+
+    For each (sink ``i``, last target ``t``) pick the acceptable driver
+    closest to ``t``: a sequential sink accepts anything, so ``t``
+    itself (nudged off ``i``); a combinational sink accepts any flop or
+    any lower index, so the nearer of ``min(t, i - 1)`` and the flop
+    adjacent to ``t`` in the sorted flop pool.
+    """
+    seq_pool = np.flatnonzero(seq)
+    out = np.empty(i_bad.size, dtype=np.int64)
+    for k in range(i_bad.size):
+        i = int(i_bad[k])
+        t = int(t_bad[k])
+        if seq[i]:
+            if t == i:
+                t = i - 1 if i > 0 else i + 1
+            out[k] = t
+            continue
+        best = min(t, i - 1) if i > 0 else -1
+        if seq_pool.size:
+            pos = int(np.searchsorted(seq_pool, t))
+            for cand_pos in (pos - 1, pos):
+                if 0 <= cand_pos < seq_pool.size:
+                    c = int(seq_pool[cand_pos])
+                    if c != i and (
+                        best < 0 or abs(c - t) < abs(best - t)
+                    ):
+                        best = c
+        out[k] = best if best >= 0 else (i + 1) % n
+    return out
 
 
 def _wire_clock_tree(

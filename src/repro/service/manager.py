@@ -55,6 +55,20 @@ class ServiceShutdown(Exception):
     """Raised inside a job thread when the service is draining."""
 
 
+def _shards(value) -> "int | str":
+    """Spec coercion for ``shards``: a positive-ish int or ``auto``
+    (range-checked with the other fields below)."""
+    if value == "auto":
+        return "auto"
+    if isinstance(value, bool):
+        raise ValueError
+    return int(value)
+
+
+# Surfaces in the 400-level "expected <name>" validation message.
+_shards.__name__ = "int or 'auto'"
+
+
 #: spec key -> (coercion, default) for flow jobs.  ``None`` default =
 #: use the FlowConfig default.
 _FLOW_SPEC_FIELDS = {
@@ -72,6 +86,8 @@ _FLOW_SPEC_FIELDS = {
     "presolve": bool,
     "window_cache": bool,
     "timing_driven": bool,
+    "shards": _shards,
+    "halo_rows": int,
 }
 
 _PROFILES = ("m0", "aes", "jpeg", "vga")
@@ -131,6 +147,13 @@ def flow_config_from_spec(spec: dict) -> FlowConfig:
             f"spec field 'executor': expected one of "
             f"{EXECUTOR_KINDS}, got {clean['executor']!r}"
         )
+    shards = clean.get("shards", 1)
+    if shards != "auto" and shards < 1:
+        raise ValueError(
+            "spec field 'shards' must be >= 1 or 'auto'"
+        )
+    if clean.get("halo_rows", 2) < 0:
+        raise ValueError("spec field 'halo_rows' must be >= 0")
     return FlowConfig(**clean)
 
 
@@ -160,6 +183,8 @@ class JobManager:
             "jobs_cancelled": 0,
             "jobs_interrupted": 0,
             "passes": 0,
+            "shards_completed": 0,
+            "seam_passes": 0,
         }
 
     # ------------------------------------------------------ lifecycle
@@ -289,6 +314,10 @@ class JobManager:
         def progress(stage: str, info: dict) -> None:
             if stage == "pass":
                 self.counters["passes"] += 1
+            elif stage == "shard":
+                self.counters["shards_completed"] += 1
+            elif stage == "seam":
+                self.counters["seam_passes"] += 1
             self.store.append_event(
                 job_id, {"type": stage, **info}
             )
@@ -300,6 +329,11 @@ class JobManager:
             if self._stop.is_set():
                 raise ServiceShutdown(job_id)
 
+        # Sharded jobs keep their crash-safe state per shard inside the
+        # job directory; a plan fingerprint from an interrupted attempt
+        # means "resume" (finished shards fast-forward).
+        shard_dir = self.store.job_dir(job_id) / "shards"
+        shard_resume = (shard_dir / "plan.json").exists()
         result = run_flow(
             config,
             progress=progress,
@@ -307,21 +341,25 @@ class JobManager:
                 job_id, cp
             ),
             resume=resume,
+            shard_checkpoint_dir=shard_dir,
+            shard_resume=shard_resume,
         )
 
         row = table2_row(result)
-        self.store.write_result(
-            job_id,
-            {
-                "schema": RESULT_SCHEMA,
-                "job_id": job_id,
-                "table2": row,
-                "num_instances": result.num_instances,
-                "place_seconds": result.place_seconds,
-                "total_seconds": result.total_seconds,
-                "resumed": resume is not None,
-            },
-        )
+        result_doc = {
+            "schema": RESULT_SCHEMA,
+            "job_id": job_id,
+            "table2": row,
+            "num_instances": result.num_instances,
+            "place_seconds": result.place_seconds,
+            "total_seconds": result.total_seconds,
+            "resumed": resume is not None or (
+                shard_resume and result.shard is not None
+            ),
+        }
+        if result.shard is not None:
+            result_doc["shard"] = result.shard.summary()
+        self.store.write_result(job_id, result_doc)
         if result.telemetry is not None:
             self.store.write_telemetry(
                 job_id, result.telemetry.summary()

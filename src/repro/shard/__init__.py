@@ -1,0 +1,76 @@
+"""Full-chip scale-out: region sharding, halo stitching, big designs.
+
+The shard layer lifts :mod:`repro.runtime`'s window-level parallelism
+one level up: the die is tiled into row-band shards with frozen halo
+context (:mod:`repro.shard.partition`), each shard runs its own
+``vm1_opt`` through the existing executors with shard-granular
+crash-safe checkpoints (:mod:`repro.shard.runner`), and the results
+are merged, seam-reconciled, and oracle-verified
+(:mod:`repro.shard.stitch`).  :mod:`repro.shard.synth` generates the
+deterministic 10k–100k-cell Rent-connectivity designs the scale
+benchmarks run on.
+"""
+
+from repro.shard.partition import (
+    AUTO_CELLS_PER_SHARD,
+    NetClassification,
+    RegionShard,
+    ShardPlan,
+    classify_nets,
+    extract_shard_design,
+    max_shards_for,
+    plan_shards,
+    resolve_shard_count,
+    verify_plan,
+)
+from repro.shard.runner import (
+    ShardCheckpointStore,
+    ShardOutcome,
+    ShardPlanError,
+    ShardRunResult,
+    ShardTask,
+    StitchVerificationError,
+    plan_workers,
+    run_sharded,
+)
+from repro.shard.stitch import (
+    StitchResult,
+    merge_shard_placements,
+    run_seam_pass,
+    seam_window_filter,
+    verify_stitched,
+)
+from repro.shard.synth import (
+    RENT_EXPONENT,
+    generate_scaled_design,
+    scale_profile,
+)
+
+__all__ = [
+    "AUTO_CELLS_PER_SHARD",
+    "NetClassification",
+    "RegionShard",
+    "ShardPlan",
+    "classify_nets",
+    "extract_shard_design",
+    "max_shards_for",
+    "plan_shards",
+    "resolve_shard_count",
+    "verify_plan",
+    "ShardCheckpointStore",
+    "ShardOutcome",
+    "ShardPlanError",
+    "ShardRunResult",
+    "ShardTask",
+    "StitchVerificationError",
+    "plan_workers",
+    "run_sharded",
+    "StitchResult",
+    "merge_shard_placements",
+    "run_seam_pass",
+    "seam_window_filter",
+    "verify_stitched",
+    "RENT_EXPONENT",
+    "generate_scaled_design",
+    "scale_profile",
+]

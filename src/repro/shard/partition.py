@@ -1,0 +1,347 @@
+"""Region partitioning for full-chip scale-out (the shard layer).
+
+The die is tiled into horizontal **row-band shards**: each shard owns a
+contiguous band of placement rows (its *core*) plus a configurable
+*halo* of neighbor rows whose cells participate in the shard's window
+models as frozen ghost context.  Cong et al.'s locality results
+(*Locality and Utilization in Placement Suboptimality*) motivate the
+construction: detailed-placement quality is dominated by each cell's
+immediate neighborhood, so freezing everything more than a few rows
+away changes the reachable optima only marginally while making the
+shards independently solvable.
+
+Independence is *structural*, proved the same way
+:func:`repro.core.window.independent_families` proves window
+independence — by disjointness of the mutable regions:
+
+* shard cores tile the die rows exactly (pairwise-disjoint y
+  projections, complete cover), so the movable cell sets are pairwise
+  disjoint;
+* every shard's halo context is captured from the **pre-run snapshot**
+  and frozen (``fixed=True`` ghosts), so no shard ever observes
+  another shard's in-flight moves;
+* movable cells cannot leave their core band — the extracted
+  sub-design's die *is* the core band, and every window solve keeps
+  cells inside the die.
+
+Together these give order-independence: running the shards serially,
+threaded, or process-parallel produces the identical merged placement.
+:func:`verify_plan` checks the invariants explicitly and returns a
+list of violations (empty = proven independent), mirroring the
+``check_legal`` error-list idiom.
+
+Row-parity invariant: shard core boundaries are snapped to **even**
+global row indices so that a row's parity relative to the sub-die
+origin equals its global parity — N/FS orientation alternation (and
+therefore every orientation-legality rule the window MILP encodes) is
+preserved verbatim in the extract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect
+from repro.netlist.design import Design
+
+#: ``auto`` shard sizing: aim for roughly this many cells per shard.
+AUTO_CELLS_PER_SHARD = 5_000
+
+#: Minimum core rows per shard (2 keeps the parity snap meaningful).
+MIN_CORE_ROWS = 4
+
+
+@dataclass(frozen=True)
+class RegionShard:
+    """One row-band shard: core rows plus frozen halo context.
+
+    Attributes:
+        index: shard number, bottom band first.
+        row_lo/row_hi: global row indices of the core band
+            (half-open, ``row_lo`` inclusive).
+        core: core region in DBU (full die width).
+        halo: core expanded by the halo rows, clipped to the die.
+    """
+
+    index: int
+    row_lo: int
+    row_hi: int
+    core: Rect
+    halo: Rect
+
+    @property
+    def num_core_rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete partition of the die into row-band shards."""
+
+    shards: tuple[RegionShard, ...]
+    halo_rows: int
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @property
+    def seam_ys(self) -> tuple[int, ...]:
+        """Absolute y of every internal shard boundary (DBU)."""
+        return tuple(s.core.ylo for s in self.shards[1:])
+
+
+@dataclass
+class NetClassification:
+    """Internal/boundary split of the design's nets under a plan.
+
+    A net is *internal* to shard ``k`` when every terminal (instance
+    pin or IO pad) lies inside shard ``k``'s core region; any net
+    whose terminals span two or more cores (or touch a pad outside
+    every core) is a *boundary* net — its HPWL couples shards and is
+    only approximately optimized until the seam pass.
+    """
+
+    internal: dict[int, int] = field(default_factory=dict)
+    boundary_nets: set[str] = field(default_factory=set)
+    trivial: int = 0
+
+    @property
+    def num_internal(self) -> int:
+        return sum(self.internal.values())
+
+    @property
+    def num_boundary(self) -> int:
+        return len(self.boundary_nets)
+
+
+def max_shards_for(design: Design, halo_rows: int) -> int:
+    """Largest shard count the die's row budget supports."""
+    min_rows = max(MIN_CORE_ROWS, 2 * max(0, halo_rows))
+    return max(1, design.num_rows // min_rows)
+
+
+def resolve_shard_count(
+    design: Design, shards: int | str, jobs: int, halo_rows: int
+) -> int:
+    """Resolve a ``--shards`` value (int or ``"auto"``) to a count.
+
+    ``auto`` targets :data:`AUTO_CELLS_PER_SHARD` cells per shard but
+    never exceeds ``jobs`` (a lone worker gains nothing from the halo
+    approximation) nor the die's row budget.  Explicit counts are
+    clamped to the row budget only.
+    """
+    cap = max_shards_for(design, halo_rows)
+    if isinstance(shards, str):
+        if shards != "auto":
+            raise ValueError(
+                f"shards must be a positive int or 'auto', got {shards!r}"
+            )
+        by_size = max(1, len(design.instances) // AUTO_CELLS_PER_SHARD)
+        return max(1, min(by_size, max(1, jobs), cap))
+    count = int(shards)
+    if count < 1:
+        raise ValueError(f"shards must be >= 1, got {count}")
+    return min(count, cap)
+
+
+def plan_shards(
+    design: Design, num_shards: int, halo_rows: int
+) -> ShardPlan:
+    """Tile the die into ``num_shards`` row bands with ``halo_rows``.
+
+    Band boundaries are even-row-snapped (parity invariant) and the
+    band heights are balanced to within one snap quantum.  Raises
+    ``ValueError`` when the die cannot host the requested count.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if halo_rows < 0:
+        raise ValueError(f"halo_rows must be >= 0, got {halo_rows}")
+    rows = design.num_rows
+    if num_shards > max_shards_for(design, halo_rows):
+        raise ValueError(
+            f"die has {rows} rows; cannot host {num_shards} shards "
+            f"with halo_rows={halo_rows} "
+            f"(max {max_shards_for(design, halo_rows)})"
+        )
+    die = design.die
+    rh = design.tech.row_height
+    # Even-snapped band boundaries: b_0 = 0 < b_1 < ... < b_N = rows.
+    bounds = [0]
+    for k in range(1, num_shards):
+        b = round(k * rows / num_shards / 2) * 2
+        b = max(b, bounds[-1] + 2)
+        bounds.append(b)
+    bounds.append(rows)
+    shards = []
+    for index in range(num_shards):
+        row_lo, row_hi = bounds[index], bounds[index + 1]
+        core = Rect(
+            die.xlo, die.ylo + row_lo * rh, die.xhi, die.ylo + row_hi * rh
+        )
+        halo = Rect(
+            die.xlo,
+            max(die.ylo, core.ylo - halo_rows * rh),
+            die.xhi,
+            min(die.yhi, core.yhi + halo_rows * rh),
+        )
+        shards.append(
+            RegionShard(
+                index=index,
+                row_lo=row_lo,
+                row_hi=row_hi,
+                core=core,
+                halo=halo,
+            )
+        )
+    return ShardPlan(shards=tuple(shards), halo_rows=halo_rows)
+
+
+def shard_of_instance(plan: ShardPlan, design: Design, name: str) -> int:
+    """Core shard index owning instance ``name``."""
+    row = design.row_of(design.instances[name])
+    for shard in plan.shards:
+        if shard.row_lo <= row < shard.row_hi:
+            return shard.index
+    raise ValueError(f"instance {name} (row {row}) outside every core")
+
+
+def classify_nets(design: Design, plan: ShardPlan) -> NetClassification:
+    """Split nets into shard-internal and boundary (see class docs)."""
+    result = NetClassification(
+        internal={s.index: 0 for s in plan.shards}
+    )
+    bounds = [s.core.ylo for s in plan.shards] + [
+        plan.shards[-1].core.yhi
+    ]
+
+    def owner_of_y(y: int) -> int:
+        for index in range(len(plan.shards)):
+            if bounds[index] <= y < bounds[index + 1]:
+                return index
+        return -1  # pad on/outside the top die edge
+
+    for net in design.nets.values():
+        if net.is_trivial():
+            result.trivial += 1
+            continue
+        owners = {
+            owner_of_y(design.instances[ref.instance].y)
+            for ref in net.pins
+        }
+        owners.update(owner_of_y(pad.y) for pad in net.pads)
+        if len(owners) == 1 and -1 not in owners:
+            result.internal[next(iter(owners))] += 1
+        else:
+            result.boundary_nets.add(net.name)
+    return result
+
+
+def extract_shard_design(
+    design: Design, shard: RegionShard
+) -> Design:
+    """Build the independent sub-design for one shard.
+
+    The sub-design's die is the shard's **core** band (movable cells
+    cannot leave it); instances inside the halo-but-not-core band ride
+    along as ``fixed=True`` ghosts — they sit outside the sub-die, which
+    is fine because only window *probes* and net geometry read them.
+    Every net touching an included instance is replicated with its
+    included pins; terminals on excluded instances are represented as
+    fixed pads at their current absolute position, so boundary-net HPWL
+    pressure survives the cut.  Instance/net names are preserved, which
+    is what makes the stitch a plain placement copy-back.
+    """
+    sub = Design(
+        f"{design.name}.shard{shard.index}", design.tech, shard.core
+    )
+    included: set[str] = set()
+    for name, inst in design.instances.items():
+        bbox = inst.bbox
+        if not bbox.overlaps_open(shard.halo):
+            continue
+        in_core = shard.core.contains_rect(bbox)
+        copy = sub.add_instance(name, inst.macro)
+        copy.x, copy.y = inst.x, inst.y
+        copy.orientation = inst.orientation
+        copy.fixed = inst.fixed or not in_core
+        included.add(name)
+    for net_name, net in design.nets.items():
+        kept = [ref for ref in net.pins if ref.instance in included]
+        if not kept:
+            continue
+        sub_net = sub.add_net(net_name)
+        for ref in kept:
+            sub.connect(net_name, ref.instance, ref.pin)
+        sub_net.pads.extend(net.pads)
+        for ref in net.pins:
+            if ref.instance in included:
+                continue
+            inst = design.instances[ref.instance]
+            sub_net.pads.append(inst.pin_position(ref.pin))
+    return sub
+
+
+def verify_plan(design: Design, plan: ShardPlan) -> list[str]:
+    """Prove the plan's independence invariants; return violations.
+
+    Mirrors the disjoint-projection argument of
+    :func:`repro.core.window.independent_families`: (1) cores are
+    pairwise disjoint in y and tile the die rows completely, (2) core
+    boundaries sit on even global rows (parity invariant), (3) every
+    instance is owned by exactly one core, and (4) each shard's halo
+    covers the full probe margin around its core.
+    """
+    errors: list[str] = []
+    shards = plan.shards
+    if not shards:
+        return ["plan has no shards"]
+    if shards[0].row_lo != 0:
+        errors.append("first core does not start at row 0")
+    if shards[-1].row_hi != design.num_rows:
+        errors.append(
+            f"last core ends at row {shards[-1].row_hi}, "
+            f"die has {design.num_rows} rows"
+        )
+    for a, b in zip(shards, shards[1:]):
+        if a.row_hi != b.row_lo:
+            errors.append(
+                f"cores {a.index}/{b.index} do not tile: "
+                f"{a.row_hi} != {b.row_lo}"
+            )
+    for shard in shards:
+        if shard.row_lo % 2:
+            errors.append(
+                f"shard {shard.index} core starts at odd row "
+                f"{shard.row_lo} (parity invariant)"
+            )
+        if shard.num_core_rows < 1:
+            errors.append(f"shard {shard.index} has an empty core")
+        rh = design.tech.row_height
+        want_lo = max(
+            design.die.ylo, shard.core.ylo - plan.halo_rows * rh
+        )
+        want_hi = min(
+            design.die.yhi, shard.core.yhi + plan.halo_rows * rh
+        )
+        if shard.halo.ylo != want_lo or shard.halo.yhi != want_hi:
+            errors.append(
+                f"shard {shard.index} halo does not cover "
+                f"{plan.halo_rows} rows around its core"
+            )
+    owners: dict[str, int] = {}
+    for shard in shards:
+        for inst in design.instances_in(shard.core):
+            if inst.name in owners:
+                errors.append(
+                    f"{inst.name} owned by shards "
+                    f"{owners[inst.name]} and {shard.index}"
+                )
+            owners[inst.name] = shard.index
+    missing = set(design.instances) - set(owners)
+    if missing:
+        errors.append(
+            f"{len(missing)} instance(s) outside every core, e.g. "
+            f"{sorted(missing)[:3]}"
+        )
+    return errors

@@ -1,0 +1,93 @@
+"""Tests for repro.core.windowcache — LRU bounding of the fixpoint
+cache.
+
+Semantic coverage (cache hits skip only provably-unchanged windows)
+lives in the hot-path equivalence suite; these tests pin the memory
+bound: the cache never exceeds ``max_entries``, evicts
+least-recently-used first, and keeps the cap across checkpoint
+restores.
+"""
+
+import pytest
+
+from repro.core.windowcache import (
+    DEFAULT_MAX_ENTRIES,
+    CacheToken,
+    WindowSolveCache,
+)
+
+
+def token(k: int, content: bytes = b"\x01") -> CacheToken:
+    return CacheToken(key=(k, 0, 0, 0, 0, 0, False), content=content)
+
+
+def test_default_capacity():
+    cache = WindowSolveCache()
+    assert cache.max_entries == DEFAULT_MAX_ENTRIES
+    assert len(cache) == 0
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        WindowSolveCache(max_entries=0)
+
+
+def test_store_evicts_oldest_at_capacity():
+    cache = WindowSolveCache(max_entries=3)
+    for k in (1, 2, 3):
+        cache.store(token(k))
+    assert len(cache) == 3 and cache.evictions == 0
+    cache.store(token(4))
+    assert len(cache) == 3
+    assert cache.evictions == 1
+    assert token(1).key not in cache._entries
+    assert token(4).key in cache._entries
+
+
+def test_restore_refreshes_recency():
+    cache = WindowSolveCache(max_entries=3)
+    for k in (1, 2, 3):
+        cache.store(token(k))
+    # Re-storing key 1 marks it most recent; capacity unchanged.
+    cache.store(token(1, b"\x02"))
+    assert len(cache) == 3 and cache.evictions == 0
+    cache.store(token(4))
+    # Key 2 (now the stalest) was evicted, not key 1.
+    assert token(2).key not in cache._entries
+    assert cache._entries[token(1).key] == b"\x02"
+
+
+def test_eviction_is_lru_not_fifo():
+    cache = WindowSolveCache(max_entries=2)
+    cache.store(token(1))
+    cache.store(token(2))
+    # Touch key 1 through the same path a probe hit takes.
+    cache._entries[token(1).key] = cache._entries.pop(token(1).key)
+    cache.store(token(3))
+    assert token(1).key in cache._entries
+    assert token(2).key not in cache._entries
+
+
+def test_import_state_respects_capacity():
+    big = WindowSolveCache(max_entries=100)
+    for k in range(10):
+        big.store(token(k))
+    snapshot = big.export_state()
+    small = WindowSolveCache(max_entries=4)
+    small.import_state(snapshot)
+    assert len(small) == 4
+    assert small.evictions == 6
+    # Determinism: importing the same snapshot keeps the same keys.
+    again = WindowSolveCache(max_entries=4)
+    again.import_state(snapshot)
+    assert again._entries == small._entries
+
+
+def test_roundtrip_below_capacity_is_lossless():
+    cache = WindowSolveCache(max_entries=10)
+    for k in range(5):
+        cache.store(token(k, bytes([k])))
+    restored = WindowSolveCache(max_entries=10)
+    restored.import_state(cache.export_state())
+    assert restored._entries == cache._entries
+    assert restored.evictions == 0

@@ -1,0 +1,225 @@
+"""Tests for repro.shard.partition — plans, extraction, nets."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.shard.partition import (
+    AUTO_CELLS_PER_SHARD,
+    RegionShard,
+    ShardPlan,
+    classify_nets,
+    extract_shard_design,
+    max_shards_for,
+    plan_shards,
+    resolve_shard_count,
+    shard_of_instance,
+    verify_plan,
+)
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture(scope="module")
+def design():
+    design = generate_design("aes", TECH, LIB, scale=0.05, seed=1)
+    place_design(design, seed=1)
+    return design
+
+
+def test_plan_tiles_die_rows(design):
+    plan = plan_shards(design, 3, halo_rows=2)
+    assert len(plan) == 3
+    assert plan.shards[0].row_lo == 0
+    assert plan.shards[-1].row_hi == design.num_rows
+    for a, b in zip(plan.shards, plan.shards[1:]):
+        assert a.row_hi == b.row_lo
+
+
+def test_plan_boundaries_even_snapped(design):
+    """Core starts land on even global rows — the N/FS parity
+    invariant that keeps extracted sub-designs orientation-legal."""
+    for count in (2, 3, 4):
+        plan = plan_shards(design, count, halo_rows=2)
+        for shard in plan.shards:
+            assert shard.row_lo % 2 == 0
+
+
+def test_plan_bands_balanced(design):
+    plan = plan_shards(design, 3, halo_rows=1)
+    sizes = [s.num_core_rows for s in plan.shards]
+    assert max(sizes) - min(sizes) <= 2  # one snap quantum
+
+
+def test_plan_halo_clipped_to_die(design):
+    plan = plan_shards(design, 2, halo_rows=3)
+    for shard in plan.shards:
+        assert shard.halo.ylo >= design.die.ylo
+        assert shard.halo.yhi <= design.die.yhi
+        assert shard.halo.contains_rect(shard.core)
+
+
+def test_seam_ys(design):
+    plan = plan_shards(design, 3, halo_rows=2)
+    assert plan.seam_ys == (
+        plan.shards[1].core.ylo,
+        plan.shards[2].core.ylo,
+    )
+
+
+def test_plan_rejects_impossible_counts(design):
+    with pytest.raises(ValueError):
+        plan_shards(design, 0, halo_rows=2)
+    with pytest.raises(ValueError):
+        plan_shards(design, design.num_rows, halo_rows=2)
+    with pytest.raises(ValueError):
+        plan_shards(design, 2, halo_rows=-1)
+
+
+def test_max_shards_respects_halo(design):
+    assert max_shards_for(design, 0) >= max_shards_for(design, 4)
+    assert max_shards_for(design, 0) == design.num_rows // 4
+
+
+def test_resolve_explicit_and_clamp(design):
+    assert resolve_shard_count(design, 2, jobs=1, halo_rows=2) == 2
+    cap = max_shards_for(design, 2)
+    assert resolve_shard_count(design, 999, jobs=1, halo_rows=2) == cap
+    with pytest.raises(ValueError):
+        resolve_shard_count(design, 0, jobs=1, halo_rows=2)
+    with pytest.raises(ValueError):
+        resolve_shard_count(design, "many", jobs=1, halo_rows=2)
+
+
+def test_resolve_auto_scales_with_size_and_jobs(design):
+    # ~600 instances: auto always resolves to 1 regardless of jobs.
+    assert resolve_shard_count(design, "auto", jobs=8, halo_rows=2) == 1
+    # A synthetic headcount check against the documented formula:
+    by_size = max(1, len(design.instances) // AUTO_CELLS_PER_SHARD)
+    assert by_size == 1
+
+
+def test_verify_plan_accepts_generated_plans(design):
+    for count in (1, 2, 3):
+        plan = plan_shards(design, count, halo_rows=2)
+        assert verify_plan(design, plan) == []
+
+
+def test_verify_plan_catches_bad_tiling(design):
+    plan = plan_shards(design, 2, halo_rows=1)
+    rh = TECH.row_height
+    die = design.die
+    first = plan.shards[0]
+    # Shrink the first core by one row without moving the second.
+    bad_core = Rect(die.xlo, die.ylo, die.xhi, first.core.yhi - rh)
+    bad = ShardPlan(
+        shards=(
+            RegionShard(
+                index=0,
+                row_lo=0,
+                row_hi=first.row_hi - 1,
+                core=bad_core,
+                halo=first.halo,
+            ),
+            plan.shards[1],
+        ),
+        halo_rows=1,
+    )
+    errors = verify_plan(design, bad)
+    assert errors, "gap between cores must be flagged"
+
+
+def test_verify_plan_catches_odd_parity(design):
+    plan = plan_shards(design, 2, halo_rows=1)
+    rh = TECH.row_height
+    die = design.die
+    second = plan.shards[1]
+    odd_lo = second.row_lo + 1
+    shifted = ShardPlan(
+        shards=(
+            RegionShard(
+                index=0,
+                row_lo=0,
+                row_hi=odd_lo,
+                core=Rect(
+                    die.xlo, die.ylo, die.xhi, die.ylo + odd_lo * rh
+                ),
+                halo=plan.shards[0].halo,
+            ),
+            RegionShard(
+                index=1,
+                row_lo=odd_lo,
+                row_hi=design.num_rows,
+                core=Rect(
+                    die.xlo, die.ylo + odd_lo * rh, die.xhi, die.yhi
+                ),
+                halo=second.halo,
+            ),
+        ),
+        halo_rows=1,
+    )
+    errors = verify_plan(design, shifted)
+    assert any("parity" in e for e in errors)
+
+
+def test_every_instance_owned_once(design):
+    plan = plan_shards(design, 3, halo_rows=2)
+    owners = [
+        shard_of_instance(plan, design, name)
+        for name in design.instances
+    ]
+    assert set(owners) == {0, 1, 2}
+
+
+def test_classify_nets_partitions_all(design):
+    plan = plan_shards(design, 3, halo_rows=2)
+    nets = classify_nets(design, plan)
+    assert (
+        nets.num_internal + nets.num_boundary + nets.trivial
+        == len(design.nets)
+    )
+    assert nets.num_boundary > 0  # row bands always cut some nets
+    assert set(nets.internal) == {0, 1, 2}
+
+
+def test_extract_preserves_names_and_freezes_ghosts(design):
+    plan = plan_shards(design, 3, halo_rows=2)
+    shard = plan.shards[1]
+    sub = extract_shard_design(design, shard)
+    assert sub.die == shard.core
+    core_names = {
+        inst.name for inst in design.instances_in(shard.core)
+    }
+    for name, inst in sub.instances.items():
+        src = design.instances[name]
+        assert (inst.x, inst.y) == (src.x, src.y)
+        assert inst.orientation == src.orientation
+        if name in core_names:
+            assert inst.fixed == src.fixed
+        else:
+            assert inst.fixed, f"halo ghost {name} must be frozen"
+    # Ghosts exist: the middle band has halo rows on both sides.
+    assert set(sub.instances) - core_names
+
+
+def test_extract_represents_external_pins_as_pads(design):
+    plan = plan_shards(design, 2, halo_rows=1)
+    shard = plan.shards[0]
+    sub = extract_shard_design(design, shard)
+    for net_name, sub_net in sub.nets.items():
+        net = design.nets[net_name]
+        external = [
+            ref
+            for ref in net.pins
+            if ref.instance not in sub.instances
+        ]
+        assert len(sub_net.pins) + len(external) == len(net.pins)
+        # Every external terminal shows up as an extra fixed pad.
+        assert len(sub_net.pads) == len(net.pads) + len(external)
+        for ref in external:
+            pos = design.instances[ref.instance].pin_position(ref.pin)
+            assert pos in sub_net.pads

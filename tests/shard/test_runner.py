@@ -1,0 +1,168 @@
+"""Tests for repro.shard.runner — execution, resume, reproducibility.
+
+The anchors:
+
+* ``shards=1`` is byte-identical to a plain ``vm1_opt`` run (the fast
+  path bypasses the shard layer entirely);
+* a sharded run produces a legal, oracle-verified stitched placement
+  with every shard's objective monotone non-increasing;
+* killing a run between shards and resuming reproduces the
+  uninterrupted placement byte for byte (shard-granular crash safety).
+"""
+
+import pytest
+
+from repro.core import OptParams
+from repro.core.vm1opt import vm1_opt
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.runtime import SerialExecutor
+from repro.shard.runner import (
+    ShardCheckpointStore,
+    ShardPlanError,
+    plan_workers,
+    run_sharded,
+)
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+PARAMS = OptParams.for_arch(CellArchitecture.CLOSED_M1, time_limit=2.0)
+
+
+def fresh_design():
+    design = generate_design("m0", TECH, LIB, scale=0.03, seed=2)
+    place_design(design, seed=1)
+    return design
+
+
+@pytest.fixture(scope="module")
+def sharded_reference():
+    """One uninterrupted 2-shard run, shared by several tests."""
+    design = fresh_design()
+    result = run_sharded(design, PARAMS, shards=2, halo_rows=2)
+    return design.placement_snapshot(), result
+
+
+def test_single_shard_is_byte_identical_to_direct():
+    direct = fresh_design()
+    with SerialExecutor() as ex:
+        vm1_opt(direct, PARAMS, executor=ex)
+    via_shard = fresh_design()
+    result = run_sharded(via_shard, PARAMS, shards=1)
+    assert via_shard.placement_snapshot() == direct.placement_snapshot()
+    assert result.num_shards == 1
+    assert result.direct is not None
+    assert result.to_vm1_result() is result.direct
+
+
+def test_sharded_run_is_legal_and_monotone(sharded_reference):
+    _, result = sharded_reference
+    assert result.stitch is not None and result.stitch.legal
+    assert result.num_shards == 2
+    for outcome in result.outcomes:
+        assert outcome.final_objective <= outcome.initial_objective
+    seam = result.stitch.seam_pass
+    assert seam is not None
+    assert result.final_objective <= result.initial_objective
+
+
+def test_sharded_vm1_view_aggregates(sharded_reference):
+    _, result = sharded_reference
+    opt = result.to_vm1_result()
+    assert opt.initial_objective == result.initial_objective
+    assert opt.final_objective == result.final_objective
+    assert opt.moved_cells >= sum(
+        o.moved_cells for o in result.outcomes
+    )
+    assert opt.solve_seconds > 0
+    summary = result.summary()
+    assert summary["num_shards"] == 2
+    assert summary["legal"] is True
+
+
+def test_sharded_run_is_deterministic(sharded_reference):
+    snapshot, _ = sharded_reference
+    design = fresh_design()
+    run_sharded(design, PARAMS, shards=2, halo_rows=2)
+    assert design.placement_snapshot() == snapshot
+
+
+def test_interrupt_and_resume_byte_identical(
+    tmp_path, sharded_reference
+):
+    snapshot, _ = sharded_reference
+
+    class Stop(RuntimeError):
+        pass
+
+    seen = []
+
+    def bomb(stage, info):
+        if stage == "shard":
+            seen.append(info["index"])
+            raise Stop("simulated kill after first shard")
+
+    interrupted = fresh_design()
+    with pytest.raises(Stop):
+        run_sharded(
+            interrupted,
+            PARAMS,
+            shards=2,
+            halo_rows=2,
+            checkpoint_dir=tmp_path,
+            progress=bomb,
+        )
+    assert seen == [0]
+    store = ShardCheckpointStore(tmp_path)
+    assert store.load_done(0) is not None
+    assert store.load_done(1) is None
+
+    resumed = fresh_design()
+    result = run_sharded(
+        resumed,
+        PARAMS,
+        shards=2,
+        halo_rows=2,
+        checkpoint_dir=tmp_path,
+        resume=True,
+    )
+    assert result.resumed_shards >= 1
+    assert result.outcomes[0].resumed is False  # fast-forwarded done
+    assert resumed.placement_snapshot() == snapshot
+
+
+def test_resume_refuses_foreign_checkpoint_dir(tmp_path):
+    design = fresh_design()
+    store = ShardCheckpointStore(tmp_path)
+    store.begin(design, 2, 2, resume=False)
+    with pytest.raises(ValueError, match="different run"):
+        store.begin(design, 3, 2, resume=True)
+    # Without resume the mismatched state is simply cleared.
+    assert store.begin(design, 3, 2, resume=False) is False
+
+
+def test_run_sharded_rejects_bad_counts():
+    design = fresh_design()
+    with pytest.raises(ValueError):
+        run_sharded(design, PARAMS, shards=0)
+    with pytest.raises((ValueError, ShardPlanError)):
+        run_sharded(design, PARAMS, shards=design.num_rows)
+
+
+def test_plan_workers_budget():
+    # Whole budget to windows when shard level is serial.
+    assert plan_workers(4, 1, "auto") == ("serial", 1, "serial", 1)
+    assert plan_workers(4, 4, "serial") == ("serial", 1, "process", 4)
+    # Shard-parallel first, remainder as threads within.
+    kind, workers, inner_kind, inner_jobs = plan_workers(2, 4, "auto")
+    assert (kind, workers) == ("process", 2)
+    assert (inner_kind, inner_jobs) == ("thread", 2)
+    # More shards than jobs: one worker per job, serial inside.
+    kind, workers, inner_kind, inner_jobs = plan_workers(8, 2, "auto")
+    assert (kind, workers) == ("process", 2)
+    assert (inner_kind, inner_jobs) == ("serial", 1)
+    with pytest.raises(ValueError):
+        plan_workers(2, 2, "warp")

@@ -1,0 +1,38 @@
+"""Full-chip acceptance: a 50k-cell design through the sharded flow.
+
+Slow tier (nightly CI): generates the 50k-cell Rent-connectivity
+design, places it, and runs the region-sharded optimizer end to end,
+asserting the stitched placement verifies legal under both the
+independent oracle and the production checker.
+"""
+
+import pytest
+
+from repro.core import OptParams, ParamSet
+from repro.library import build_library
+from repro.placement import place_design
+from repro.shard import generate_scaled_design, run_sharded
+from repro.tech import CellArchitecture, make_tech
+
+pytestmark = pytest.mark.slow
+
+
+def test_50k_sharded_flow_is_legal():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_scaled_design(50_000, tech, lib, seed=1)
+    assert len(design.instances) == 50_000
+    place_design(design, seed=1)
+    params = OptParams.for_arch(
+        CellArchitecture.CLOSED_M1,
+        sequence=(ParamSet.square(1.0, 3, 1),),
+        time_limit=1.0,
+    )
+    result = run_sharded(
+        design, params, shards=4, halo_rows=2, jobs=1
+    )
+    assert result.num_shards == 4
+    assert result.stitch is not None and result.stitch.legal
+    assert result.final_objective <= result.initial_objective
+    for outcome in result.outcomes:
+        assert outcome.final_objective <= outcome.initial_objective

@@ -1,0 +1,91 @@
+"""Tests for repro.shard.stitch — merge, seam filter, verification."""
+
+import pytest
+
+from repro.core import OptParams
+from repro.core.window import partition
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.shard.partition import plan_shards
+from repro.shard.stitch import (
+    merge_shard_placements,
+    seam_window_filter,
+    verify_stitched,
+)
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+@pytest.fixture(scope="module")
+def design():
+    design = generate_design("aes", TECH, LIB, scale=0.05, seed=1)
+    place_design(design, seed=1)
+    return design
+
+
+def test_merge_counts_only_real_moves(design):
+    name = next(iter(design.instances))
+    inst = design.instances[name]
+    same = {
+        name: (inst.x, inst.y, inst.orientation.value),
+    }
+    assert merge_shard_placements(design, same) == 0
+    shifted = {
+        name: (
+            inst.x + TECH.site_width,
+            inst.y,
+            inst.orientation.value,
+        ),
+    }
+    assert merge_shard_placements(design, shifted) == 1
+    assert inst.x % TECH.site_width == 0
+    # Restore for the other module-scoped tests.
+    merge_shard_placements(design, same)
+    assert design.instances[name].x == same[name][0]
+
+
+def test_seam_filter_selects_straddling_windows(design):
+    plan = plan_shards(design, 3, halo_rows=2)
+    accept = seam_window_filter(design, plan)
+    windows = partition(design, 0, 0, 1250, 1080)
+    kept = [w for w in windows if accept(w)]
+    assert kept and len(kept) < len(windows)
+    margin = max(1, plan.halo_rows) * TECH.row_height
+    for window in kept:
+        assert any(
+            window.rect.ylo < y + margin
+            and window.rect.yhi > y - margin
+            for y in plan.seam_ys
+        )
+    for window in windows:
+        if window not in kept:
+            assert all(
+                window.rect.yhi <= y - margin
+                or window.rect.ylo >= y + margin
+                for y in plan.seam_ys
+            )
+
+
+def test_verify_stitched_clean_on_legal_placement(design):
+    assert verify_stitched(design) == []
+
+
+def test_verify_stitched_reports_both_checkers(design):
+    name = next(iter(design.instances))
+    inst = design.instances[name]
+    x = inst.x
+    inst.x = x + 1  # off-site: illegal for both checkers
+    try:
+        errors = verify_stitched(design)
+    finally:
+        inst.x = x
+    assert any(e.startswith("oracle:") for e in errors)
+    assert any(e.startswith("production:") for e in errors)
+
+
+def test_seam_params_exist():
+    params = OptParams.for_arch(TECH.arch)
+    assert params.sequence, "seam pass reads the last ParamSet"

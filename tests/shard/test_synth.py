@@ -1,0 +1,121 @@
+"""Tests for repro.shard.synth — the Rent-scaled design family and
+the bucketed wiring path it exercises."""
+
+import numpy as np
+import pytest
+
+from repro.library import build_library
+from repro.netlist.generator import (
+    _BUCKETED_WIRING_MIN,
+    generate_design,
+)
+from repro.shard.synth import (
+    RENT_EXPONENT,
+    generate_scaled_design,
+    scale_profile,
+)
+from repro.tech import CellArchitecture, make_tech
+
+TECH = make_tech(CellArchitecture.CLOSED_M1)
+LIB = build_library(TECH)
+
+
+def test_profile_anchored_to_aes():
+    profile = scale_profile(12_345)
+    assert profile.locality == pytest.approx(0.02)
+
+
+def test_profile_follows_rent_laws():
+    small = scale_profile(10_000)
+    large = scale_profile(100_000)
+    # Locality ~ N**(p-1): relative neighborhoods shrink as N grows.
+    ratio = large.locality / small.locality
+    assert ratio == pytest.approx(10 ** (RENT_EXPONENT - 1.0))
+    # Terminals ~ t * N**p: IO grows sublinearly.
+    assert small.io_count < large.io_count < 10 * small.io_count
+
+
+def test_profile_naming_and_validation():
+    assert scale_profile(50_000).name == "synth50k"
+    assert scale_profile(12_345).name == "synth12345"
+    with pytest.raises(ValueError):
+        scale_profile(4)
+    with pytest.raises(ValueError):
+        scale_profile(10_000, rent_exponent=1.5)
+
+
+@pytest.fixture(scope="module")
+def bucketed_design():
+    """Smallest design that takes the vectorized wiring path."""
+    assert _BUCKETED_WIRING_MIN <= 20_000
+    return generate_scaled_design(20_000, TECH, LIB, seed=3)
+
+
+def test_scaled_generation_deterministic(bucketed_design):
+    again = generate_scaled_design(20_000, TECH, LIB, seed=3)
+    assert len(again.instances) == len(bucketed_design.instances)
+    for name, inst in bucketed_design.instances.items():
+        assert again.instances[name].macro.name == inst.macro.name
+    for name, net in bucketed_design.nets.items():
+        assert [
+            (r.instance, r.pin) for r in again.nets[name].pins
+        ] == [(r.instance, r.pin) for r in net.pins]
+
+
+def test_bucketed_wiring_keeps_combinational_acyclic(bucketed_design):
+    """The vectorized path enforces the same acceptance rule as the
+    legacy loop: a comb gate is driven by a flop or a lower index."""
+    design = bucketed_design
+    seq = {
+        name: design.instances[name].macro.spec.is_sequential
+        for name in design.instances
+    }
+    checked = 0
+    for net_name, net in design.nets.items():
+        if not net_name.startswith("n"):
+            continue
+        driver = int(net_name[1:])
+        driver_name = f"U{driver:06d}"
+        for ref in net.pins[1:]:
+            if ref.instance not in seq:
+                continue
+            sink = int(ref.instance[1:])
+            if sink == driver or ref.instance == driver_name:
+                continue
+            assert (
+                seq[driver_name] or seq[ref.instance] or driver < sink
+            ), f"comb cycle risk: {driver_name} -> {ref.instance}"
+            checked += 1
+    assert checked > 10_000
+
+
+def test_bucketed_wiring_preserves_locality(bucketed_design):
+    """Mean structural driver distance tracks the profile's geometric
+    scale — the snap fallback must not distort it."""
+    design = bucketed_design
+    profile = scale_profile(20_000)
+    n = sum(
+        1 for name in design.instances if name.startswith("U")
+    )
+    distances = []
+    for net_name, net in design.nets.items():
+        if not net_name.startswith("n"):
+            continue
+        driver = int(net_name[1:])
+        for ref in net.pins[1:]:
+            distances.append(abs(int(ref.instance[1:]) - driver))
+    mean = float(np.mean(distances))
+    expected = profile.locality * n  # geometric mean distance scale
+    assert 0.3 * expected < mean < 3.0 * expected
+
+
+def test_small_designs_keep_legacy_stream():
+    """Below the threshold the original RNG stream is untouched —
+    the committed expectation for every existing profile."""
+    design = generate_design("aes", TECH, LIB, scale=0.05, seed=1)
+    # Spot-check a known legacy wiring fact: the design is connected
+    # through its first net, and regeneration is bit-stable.
+    again = generate_design("aes", TECH, LIB, scale=0.05, seed=1)
+    assert [
+        (r.instance, r.pin) for r in design.nets["n000000"].pins
+    ] == [(r.instance, r.pin) for r in again.nets["n000000"].pins]
