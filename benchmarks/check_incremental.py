@@ -1,0 +1,99 @@
+"""CI smoke gate for the incremental DistOpt engine.
+
+Reads ``benchmarks/results/BENCH_incremental.json`` (written by
+running ``benchmarks/test_incremental.py``) and fails when the
+incremental run broke equivalence — placements not byte-identical,
+delta-accounted objective drifting past tolerance, the dirty tracker
+not engaging at all — or when the converged-tail speedup fell under
+``MIN_SPEEDUP``.
+
+The speedup floor here is looser than the benchmark's own assertion:
+CI runners are noisy and share cores, so the gate only catches the
+feature being effectively off (skips not engaging, or the tracker
+costing more than it saves) — not percent-level drift.  Exit codes:
+0 ok, 1 regression, 2 missing/malformed report.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPORT = (
+    Path(__file__).parent / "results" / "BENCH_incremental.json"
+)
+
+#: Equivalence bound on |incremental − recomputed| final objective;
+#: mirrors repro.core.distopt.DRIFT_TOLERANCE (not imported: the gate
+#: must run without the package installed).
+DRIFT_TOLERANCE = 1e-6
+
+#: CI floor on converged-tail speedup (benchmark itself asserts 1.5x).
+MIN_SPEEDUP = 1.2
+
+
+def main() -> int:
+    if not REPORT.exists():
+        print(
+            f"missing report {REPORT}; run "
+            f"benchmarks/test_incremental.py first"
+        )
+        return 2
+    try:
+        doc = json.loads(REPORT.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"malformed report {REPORT}: {exc}")
+        return 2
+    if not isinstance(doc, dict):
+        print(
+            f"malformed report {REPORT}: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+        return 2
+
+    speedup = doc.get("speedup")
+    identical = doc.get("placements_identical")
+    drift = doc.get("objective_delta")
+    skipped = (doc.get("dirty_on") or {}).get("windows_skipped_clean")
+    for field, value in (
+        ("speedup", speedup),
+        ("objective_delta", drift),
+        ("dirty_on.windows_skipped_clean", skipped),
+    ):
+        if not isinstance(value, (int, float)):
+            print(f"malformed report: {field} missing or non-numeric")
+            return 2
+
+    print(
+        f"incremental vs full recompute: {speedup:.2f}x "
+        f"(floor {MIN_SPEEDUP}x), skipped_clean={skipped}, "
+        f"objective drift {drift:.2e}, "
+        f"placements identical: {identical}"
+    )
+    failed = False
+    if identical is not True:
+        print("FAIL: dirty-on placement differs from dirty-off")
+        failed = True
+    if drift >= DRIFT_TOLERANCE:
+        print(
+            f"FAIL: objective drift {drift} >= {DRIFT_TOLERANCE}"
+        )
+        failed = True
+    if skipped <= 0:
+        print("FAIL: dirty tracker never skipped a window")
+        failed = True
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: converged-tail speedup {speedup:.2f}x under "
+            f"{MIN_SPEEDUP}x floor"
+        )
+        failed = True
+    if failed:
+        return 1
+    print("incremental smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Macrobenchmark: incremental DistOpt vs full recompute at 10k cells.
+
+Runs the full VM1Opt loop on the 10k-cell Rent-connectivity reference
+design twice — ``dirty_tracking=False`` (legacy: every window hashed /
+sliced / probed every pass, objective fully recomputed per pass) and
+``dirty_tracking=True`` with the drift audit armed (any pass whose
+delta-accounted objective strays more than ``DRIFT_TOLERANCE`` from a
+full recompute raises *inside* the run) — and writes
+``benchmarks/results/BENCH_incremental.json`` with wall-clocks,
+per-pass window accounting, and the speedup.
+
+The loop is driven into its **converged tail** (fixed window grid,
+small θ), the regime the dirty tracker targets: late passes revisit
+settled windows, and proving "unchanged" by content hash costs a
+sort + scan of every instance per window while a clean-mark lookup is
+O(1).  A default-θ run stops after ~1 iteration whose move and flip
+passes key disjoint subproblems — there the tracker engages barely at
+all (and the JSON records that honestly if parameters drift).
+
+Both variants keep the §7 window cache on, so the speedup isolates
+what dirty tracking adds *on top of* the existing hot path.  The
+dirty win is algorithmic (skipped O(N)-per-window scans), not
+parallelism, so the benchmark measures on any core count; ``jobs``
+follows ``min(4, cores)``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import OptParams, ParamSet
+from repro.core.distopt import DRIFT_TOLERANCE
+from repro.core.vm1opt import vm1_opt
+from repro.library import build_library
+from repro.netlist import Design
+from repro.placement import place_design
+from repro.runtime import available_cores, make_executor
+from repro.shard import generate_scaled_design
+from repro.tech import CellArchitecture, make_tech
+
+RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_incremental.json"
+)
+
+NUM_INSTANCES = 10_000
+SEED = 1
+#: Small θ + enable_shift=False drives the loop into the converged
+#: tail where identical passes repeat until the improvement dies out.
+THETA = 1e-5
+#: Wall-clock floor asserted here; the CI gate
+#: (``check_incremental.py``) uses a looser floor for runner noise.
+MIN_SPEEDUP = 1.5
+
+
+def _params() -> OptParams:
+    return OptParams.for_arch(
+        CellArchitecture.CLOSED_M1,
+        sequence=(ParamSet.square(1.0, 3, 1),),
+        time_limit=1.0,
+        theta=THETA,
+    )
+
+
+def _reference_design() -> Design:
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_scaled_design(
+        NUM_INSTANCES, tech, lib, seed=SEED
+    )
+    place_design(design, seed=SEED)
+    return design
+
+
+def _run_variant(*, dirty: bool, jobs: int) -> tuple[dict, dict]:
+    design = _reference_design()
+    started = time.perf_counter()
+    result = vm1_opt(
+        design,
+        _params(),
+        executor=make_executor("auto", jobs),
+        enable_shift=False,
+        dirty_tracking=dirty,
+        # Audit only the incremental run: it is the one whose
+        # objective is delta-accounted; the legacy run *is* the full
+        # recompute the audit compares against.
+        objective_audit=dirty,
+    )
+    wall = time.perf_counter() - started
+    report = {
+        "dirty_tracking": dirty,
+        "wall_seconds": wall,
+        "iterations": result.iterations,
+        "final_objective": result.final_objective,
+        "windows_built": sum(p.windows_built for p in result.passes),
+        "windows_skipped_clean": result.windows_skipped_clean,
+        "windows_cached": result.windows_cached,
+        "passes": [
+            {
+                "built": p.windows_built,
+                "applied": p.windows_applied,
+                "skipped_clean": p.windows_skipped_clean,
+                "cached": p.windows_cached,
+                "wall_seconds": p.wall_seconds,
+                "build_seconds": p.build_seconds,
+                "solve_seconds": p.solve_seconds,
+            }
+            for p in result.passes
+        ],
+    }
+    return report, design.placement_snapshot()
+
+
+def test_incremental_speedup():
+    cores = available_cores()
+    jobs = min(4, cores)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+
+    off, snapshot_off = _run_variant(dirty=False, jobs=jobs)
+    on, snapshot_on = _run_variant(dirty=True, jobs=jobs)
+
+    identical = snapshot_on == snapshot_off
+    objective_delta = abs(
+        on["final_objective"] - off["final_objective"]
+    )
+    speedup = off["wall_seconds"] / on["wall_seconds"]
+    report = {
+        "schema": "repro.bench.incremental/v1",
+        "cores": cores,
+        "jobs": jobs,
+        "design": {
+            "family": "synth",
+            "instances": NUM_INSTANCES,
+            "seed": SEED,
+        },
+        "params": {
+            "sequence": "square(1.0, 3, 1)",
+            "theta": THETA,
+            "time_limit": 1.0,
+            "enable_shift": False,
+        },
+        "dirty_off": off,
+        "dirty_on": on,
+        "speedup": speedup,
+        "placements_identical": identical,
+        "objective_delta": objective_delta,
+    }
+    RESULTS_PATH.write_text(json.dumps(report, indent=1) + "\n")
+
+    assert identical, (
+        "dirty tracking must not change the placement"
+    )
+    assert objective_delta < DRIFT_TOLERANCE, (
+        f"delta-accounted objective drifted {objective_delta} from "
+        f"the full-recompute run"
+    )
+    assert on["windows_skipped_clean"] > 0, (
+        "converged-tail run engaged zero clean skips — the benchmark "
+        "is not measuring the incremental path"
+    )
+    assert off["windows_skipped_clean"] == 0
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x from dirty-window skipping in "
+        f"the converged tail, measured {speedup:.2f}x"
+    )

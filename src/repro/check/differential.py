@@ -473,6 +473,54 @@ def check_executor_axis(
     return errors
 
 
+def check_dirty_onoff_axis(
+    seed: int = 2,
+    *,
+    arch: CellArchitecture = CellArchitecture.CLOSED_M1,
+    scale: float = 0.01,
+) -> list[str]:
+    """Dirty tracking on vs off must be byte-identical.
+
+    Runs the full VM1Opt loop twice on identical fresh designs: once
+    with dirty-window skipping + delta objective accounting (and the
+    paranoid drift audit armed, so any incremental-accounting drift
+    raises inside the run), once fully recomputed.  Placements must
+    match bit for bit and the claimed objectives must agree to the
+    float tolerance — dirty tracking is a pure go-faster switch.
+    """
+    params = OptParams.for_arch(arch, time_limit=5.0)
+    on_design = _axis_design(arch, scale=scale, seed=seed)
+    on = vm1_opt(
+        on_design, params, dirty_tracking=True, objective_audit=True
+    )
+    off_design = _axis_design(arch, scale=scale, seed=seed)
+    off = vm1_opt(off_design, params, dirty_tracking=False)
+    errors: list[str] = []
+    on_snapshot = on_design.placement_snapshot()
+    off_snapshot = off_design.placement_snapshot()
+    if on_snapshot != off_snapshot:
+        diff = [
+            name
+            for name in off_snapshot
+            if on_snapshot[name] != off_snapshot[name]
+        ]
+        errors.append(
+            f"dirty tracking changed the placement of {len(diff)} "
+            f"cells: {diff[:5]}"
+        )
+    if abs(on.final_objective - off.final_objective) > _TOL:
+        errors.append(
+            f"dirty-on objective {on.final_objective} != dirty-off "
+            f"objective {off.final_objective}"
+        )
+    if on.iterations != off.iterations:
+        errors.append(
+            f"dirty-on iteration count {on.iterations} != dirty-off "
+            f"{off.iterations}"
+        )
+    return errors
+
+
 def check_resume_axis(
     seed: int = 2,
     *,

@@ -163,6 +163,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         presolve=not args.no_presolve,
         window_cache=not args.no_window_cache,
+        dirty_tracking=not args.no_dirty_tracking,
         shards=args.shards,
         halo_rows=args.halo_rows,
     )
@@ -231,6 +232,8 @@ def _spec_from_args(args: argparse.Namespace) -> dict:
         spec["presolve"] = False
     if args.no_window_cache:
         spec["window_cache"] = False
+    if args.no_dirty_tracking:
+        spec["dirty_tracking"] = False
     return spec
 
 
@@ -314,6 +317,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     # subcommand needs it.
     from repro.check import fuzz, replay_reproducer
     from repro.check.differential import (
+        check_dirty_onoff_axis,
         check_executor_axis,
         check_resume_axis,
     )
@@ -329,7 +333,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 1 if failed else 0
 
     axes = set(args.axes.split(","))
-    unknown = axes - {"brute", "presolve", "executor", "resume"}
+    unknown = axes - {
+        "brute", "presolve", "executor", "resume", "dirty_onoff"
+    }
     if unknown:
         print(f"unknown axes: {sorted(unknown)}", file=sys.stderr)
         return 2
@@ -355,6 +361,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         axis_errors["executor"] = check_executor_axis()
     if "resume" in axes:
         axis_errors["resume"] = check_resume_axis()
+    if "dirty_onoff" in axes:
+        axis_errors["dirty_onoff"] = check_dirty_onoff_axis()
 
     doc = summary.to_dict()
     doc["axes"] = {name: errs for name, errs in axis_errors.items()}
@@ -420,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument(
         "--no-window-cache", action="store_true",
         help="disable the cross-pass window-solve cache",
+    )
+    flow.add_argument(
+        "--no-dirty-tracking", action="store_true",
+        help="disable dirty-region window skipping and the "
+        "incremental (delta-accounted) objective",
     )
     flow.add_argument(
         "--shards", type=_shards_value, default=1, metavar="N|auto",
@@ -505,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--no-presolve", action="store_true")
     submit.add_argument("--no-window-cache", action="store_true")
+    submit.add_argument("--no-dirty-tracking", action="store_true")
     submit.add_argument(
         "--shards", type=_shards_value, default=1, metavar="N|auto",
         help="region-shard count for the job (int or 'auto')",
@@ -575,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--axes", default="brute,presolve",
         help="comma list of axes to run: brute,presolve,executor,"
-        "resume (default: brute,presolve)",
+        "resume,dirty_onoff (default: brute,presolve)",
     )
     check.add_argument(
         "--max-assignments", type=_positive_int, default=50_000,

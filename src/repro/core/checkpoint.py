@@ -14,7 +14,13 @@ vm1_opt` needs to continue after the last *completed* DistOpt pass:
 * the full placement (every instance's ``x/y/orientation``);
 * the :class:`~repro.core.windowcache.WindowSolveCache` entries, so a
   resumed run skips exactly the windows the uninterrupted run would
-  have skipped.
+  have skipped;
+* the :class:`~repro.core.dirty.DirtyTracker` state (clean-window
+  marks + accumulated dirty regions), so a resumed run's incremental
+  engine skips exactly what the uninterrupted run would skip.  The
+  ``dirty`` document key is optional: a checkpoint without it resumes
+  with everything presumed dirty, which is always sound — identical
+  placements, merely slower first pass.
 
 Every DistOpt pass is deterministic given (placement, cache, params,
 grid offsets) — PR 3's λ tie-break made solves reproducible — so a run
@@ -38,6 +44,7 @@ from typing import TYPE_CHECKING
 from repro.geometry import Orientation
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.dirty import DirtyTracker
     from repro.core.windowcache import WindowSolveCache
     from repro.netlist.design import Design
 
@@ -62,6 +69,8 @@ class VM1Checkpoint:
     placement: dict[str, tuple[int, int, str]]
     #: serialized WindowSolveCache entries (see windowcache module).
     cache_entries: list = field(default_factory=list)
+    #: serialized DirtyTracker state (see dirty module); [] = none.
+    dirty_state: list = field(default_factory=list)
     schema: str = CHECKPOINT_SCHEMA
 
     # ------------------------------------------------------- capture
@@ -70,6 +79,7 @@ class VM1Checkpoint:
         cls,
         design: "Design",
         cache: "WindowSolveCache | None",
+        dirty: "DirtyTracker | None" = None,
         *,
         u_index: int,
         iteration: int,
@@ -100,19 +110,27 @@ class VM1Checkpoint:
             cache_entries=(
                 cache.export_state() if cache is not None else []
             ),
+            dirty_state=(
+                dirty.export_state() if dirty is not None else []
+            ),
         )
 
     # ------------------------------------------------------- restore
     def restore(
-        self, design: "Design", cache: "WindowSolveCache | None"
+        self,
+        design: "Design",
+        cache: "WindowSolveCache | None",
+        dirty: "DirtyTracker | None" = None,
     ) -> None:
-        """Write the checkpointed placement (and cache) back."""
+        """Write the checkpointed placement (+ cache/dirty) back."""
         for name, (x, y, orient) in self.placement.items():
             inst = design.instances[name]
             inst.x, inst.y = int(x), int(y)
             inst.orientation = Orientation(orient)
         if cache is not None and self.cache_entries:
             cache.import_state(self.cache_entries)
+        if dirty is not None and self.dirty_state:
+            dirty.import_state(self.dirty_state)
 
     # --------------------------------------------------- (de)serialize
     def to_dict(self) -> dict:
@@ -132,6 +150,7 @@ class VM1Checkpoint:
                 for name, state in self.placement.items()
             },
             "cache": self.cache_entries,
+            "dirty": self.dirty_state,
         }
 
     @classmethod
@@ -157,6 +176,7 @@ class VM1Checkpoint:
                 for name, (x, y, orient) in doc["placement"].items()
             },
             cache_entries=list(doc.get("cache", [])),
+            dirty_state=list(doc.get("dirty", [])),
         )
 
     def dumps(self) -> str:

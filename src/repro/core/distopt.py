@@ -3,18 +3,34 @@
 Windows are partitioned, grouped into independently-optimizable
 families (disjoint x/y projections, §4.1), and each family's windows
 are solved as separate MILPs through the :mod:`repro.runtime`
-execution engine.  Per family the engine (1) builds every window
-model from the common pre-family placement, (2) dispatches the solves
-over the configured executor (serial / thread pool / process pool),
-and (3) applies the solutions in canonical window order regardless of
-completion order — which is why a parallel run reproduces the serial
-placement bit-for-bit on the same seed.
+execution engine.  Per family the engine (1) slices every window's
+cells/nets out of the common pre-family placement, (2) dispatches the
+slices over the configured executor (serial / thread pool / process
+pool) — the window model is **built inside the worker** so build cost
+parallelizes too — and (3) applies the returned moves in canonical
+window order regardless of completion order, which is why a parallel
+run reproduces the serial placement bit-for-bit on the same seed.
+
+The incremental engine rides on three cooperating pieces:
+
+* an optional :class:`~repro.core.dirty.DirtyTracker` skips windows
+  that were verified fixpoints and whose probe neighborhood nothing
+  has touched since — *before* any hashing or building (the
+  :class:`~repro.core.windowcache.WindowSolveCache` remains the
+  content-addressed backstop for windows that do get probed);
+* the pass objective is maintained as a running delta (the guarded
+  apply already computes exact before/after local objectives over the
+  window's touched nets, and those nets fully cover the global
+  change), so passing ``objective=`` replaces the O(all-nets)
+  ``calculate_objective`` sweep at pass end; ``audit=True`` recomputes
+  the full sweep anyway and raises if the delta drifted;
+* per-window ``build_seconds`` now comes from the worker-side build.
 
 Two parallel-time figures are reported: ``modeled_parallel_seconds``
-(per family the slowest window *solve* — what an unbounded parallel
-machine would see; model-build overhead is excluded since builds
-pipeline with solves) and ``measured_parallel_seconds`` (the wall
-clock the engine actually achieved for the dispatch+solve phases).
+(per family the slowest window build+presolve+solve path — what an
+unbounded parallel machine would see now that the whole path runs in
+a worker) and ``measured_parallel_seconds`` (the wall clock the engine
+actually achieved for the dispatch phases).
 
 Every applied window solution is guarded: the local objective
 (HPWL − α·alignments over the window's touched nets) is recomputed
@@ -25,18 +41,15 @@ protects against time-limited solves returning a worse incumbent.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.core.formulation import (
-    WindowProblem,
-    apply_solution,
-    build_window_model,
-)
+from repro.core.dirty import DirtyTracker, dirty_write_for_moves
+from repro.core.formulation import probe_rect, window_slice
 from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
 from repro.core.window import independent_families, partition
 from repro.milp.highs_backend import HighsBackend
-from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solution import SolveStatus
 from repro.netlist.design import Design
 from repro.runtime import (
     FamilyScheduler,
@@ -48,6 +61,10 @@ from repro.runtime import (
     WindowTask,
     WindowTaskResult,
 )
+
+#: Objective-delta accounting must agree with a full recompute to
+#: within this bound (the audit raises past it).
+DRIFT_TOLERANCE = 1e-6
 
 
 @dataclass
@@ -62,6 +79,16 @@ class DistOptResult:
     windows_failed: int = 0
     windows_timed_out: int = 0
     windows_cached: int = 0
+    #: windows skipped by the dirty tracker before probe/build.
+    windows_skipped_clean: int = 0
+    #: cache probes that actually missed (≠ windows built: a probed
+    #: window may turn out to have nothing to build).
+    cache_misses: int = 0
+    #: sum of guarded-apply objective deltas over applied windows.
+    objective_delta: float = 0.0
+    #: |delta-accounted − fully-recomputed| objective; None unless the
+    #: pass ran with ``audit=True``.
+    objective_drift: float | None = None
     pairs_considered: int = 0
     wall_seconds: float = 0.0
     build_seconds: float = 0.0
@@ -93,6 +120,9 @@ def dist_opt(
     presolve: bool = True,
     cache=None,
     window_filter=None,
+    dirty: DirtyTracker | None = None,
+    objective: float | None = None,
+    audit: bool = False,
 ) -> DistOptResult:
     """Run one DistOpt pass over the whole design.
 
@@ -123,6 +153,19 @@ def dist_opt(
             given, only accepted windows are optimized (the shard
             layer's seam pass restricts a DistOpt to the windows
             straddling shard boundaries).
+        dirty: optional cross-pass :class:`~repro.core.dirty.
+            DirtyTracker`; verified-clean windows are skipped before
+            the cache probe (no hash, no build), applied moves are
+            recorded as dirty regions, and fixpoints are marked clean.
+        objective: the design's exact global objective *before* this
+            pass.  When given, the post-pass objective is accounted
+            incrementally (``objective`` + the guarded applies' local
+            deltas) instead of via the full ``calculate_objective``
+            sweep.  ``None`` keeps the legacy full recompute.
+        audit: with ``objective``, also run the full sweep and raise
+            ``AssertionError`` if the delta-accounted value drifted
+            more than :data:`DRIFT_TOLERANCE` from it (paranoia knob
+            for tests and debugging).
 
     Returns:
         A :class:`DistOptResult`; ``objective`` is the global
@@ -162,13 +205,27 @@ def dist_opt(
                 telemetry=telemetry, pass_label=pass_label,
                 lx=lx, ly=ly, allow_flip=allow_flip,
                 next_task_id=next_task_id,
-                presolve=presolve, cache=cache,
+                presolve=presolve, cache=cache, dirty=dirty,
             )
     finally:
         if owns_executor:
             executor.close()
 
-    result.objective = calculate_objective(design, params)
+    if objective is None:
+        result.objective = calculate_objective(design, params)
+    else:
+        result.objective = objective + result.objective_delta
+        if audit:
+            full = calculate_objective(design, params)
+            result.objective_drift = abs(result.objective - full)
+            if result.objective_drift >= DRIFT_TOLERANCE:
+                raise AssertionError(
+                    f"pass {pass_label}: delta-accounted objective "
+                    f"{result.objective!r} drifted "
+                    f"{result.objective_drift:.3e} from full "
+                    f"recompute {full!r} "
+                    f"(tolerance {DRIFT_TOLERANCE:g})"
+                )
     result.wall_seconds = time.perf_counter() - started
     if telemetry is not None:
         telemetry.record_pass(
@@ -184,11 +241,26 @@ def dist_opt(
             failed=result.windows_failed,
             timed_out=result.windows_timed_out,
             cache_hits=result.windows_cached,
-            cache_misses=(
-                result.windows_built if cache is not None else 0
-            ),
+            cache_misses=result.cache_misses,
+            windows_skipped_clean=result.windows_skipped_clean,
         )
     return result
+
+
+def _task_params(params: OptParams, slice_design: Design) -> OptParams:
+    """Per-task params: prune ``net_beta`` to the slice's nets so a
+    large criticality map is not pickled into every task.  Sound
+    because ``beta_of`` falls back to the uniform ``beta`` for any
+    net missing from the map, and the worker only evaluates nets
+    present in the slice."""
+    if params.net_beta is None:
+        return params
+    pruned = {
+        name: params.net_beta[name]
+        for name in slice_design.nets
+        if name in params.net_beta
+    }
+    return replace(params, net_beta=pruned)
 
 
 def _run_family(
@@ -208,14 +280,36 @@ def _run_family(
     next_task_id: int,
     presolve: bool,
     cache,
+    dirty: DirtyTracker | None,
 ) -> int:
-    """Build, solve, and apply one independent family; returns the
-    next free task id."""
+    """Slice, dispatch (worker-side build+solve), and apply one
+    independent family; returns the next free task id."""
     tasks: list[WindowTask] = []
-    problems: dict[int, WindowProblem] = {}
-    build_seconds: dict[int, float] = {}
     tokens: dict[int, object] = {}
+    keys: dict[int, tuple] = {}
+    probes: dict[int, tuple] = {}
     for window in family:
+        key = probe = None
+        if dirty is not None:
+            key = DirtyTracker.window_key(window, lx, ly, allow_flip)
+            probe = probe_rect(design, window)
+            if dirty.is_clean(key, probe):
+                # Previously verified fixpoint, nothing written in its
+                # neighborhood since: re-solving would provably
+                # reproduce the same non-move (same argument as a
+                # cache hit, minus the hash).
+                result.windows_skipped_clean += 1
+                if telemetry is not None:
+                    telemetry.record_window(
+                        WindowRecord(
+                            pass_label=pass_label,
+                            family=family_index,
+                            ix=window.ix,
+                            iy=window.iy,
+                            status="skipped_clean",
+                        )
+                    )
+                continue
         token = None
         if cache is not None:
             hit, token = cache.probe(
@@ -225,6 +319,10 @@ def _run_family(
                 # A fixpoint with identical content: re-solving would
                 # deterministically reproduce the same non-move.
                 result.windows_cached += 1
+                if dirty is not None:
+                    # The signature scan derived the window's exact
+                    # net read-set — record it with the mark.
+                    dirty.mark_clean(key, probe, nets=token.nets)
                 if telemetry is not None:
                     telemetry.record_window(
                         WindowRecord(
@@ -236,30 +334,35 @@ def _run_family(
                         )
                     )
                 continue
-        t0 = time.perf_counter()
-        problem = build_window_model(
-            design, window, params, lx=lx, ly=ly, allow_flip=allow_flip
-        )
-        built = time.perf_counter() - t0
-        result.build_seconds += built
-        if problem is None:
-            continue
-        if cache is not None:
             cache.note_miss()
-        task = WindowTask.from_problem(
-            problem,
+            result.cache_misses += 1
+        sliced = window_slice(design, window)
+        if sliced is None:
+            # No movable cells, so the build reads no nets at all —
+            # the mark's net set is empty.  Clean by construction: a
+            # cell can only appear inside this window via a move whose
+            # cell rect intersects the window rect (⊆ probe rect).
+            if dirty is not None:
+                dirty.mark_clean(key, probe)
+            continue
+        task = WindowTask.from_slice(
+            sliced,
+            window,
+            _task_params(params, sliced),
             task_id=next_task_id,
             family=family_index,
             solver=spec,
+            lx=lx,
+            ly=ly,
+            allow_flip=allow_flip,
             presolve=presolve,
         )
         next_task_id += 1
         tasks.append(task)
-        problems[task.task_id] = problem
-        build_seconds[task.task_id] = built
         tokens[task.task_id] = token
-        result.windows_built += 1
-        result.pairs_considered += problem.num_pairs
+        if dirty is not None:
+            keys[task.task_id] = key
+            probes[task.task_id] = probe
     if not tasks:
         return next_task_id
 
@@ -269,28 +372,60 @@ def _run_family(
         time.perf_counter() - solve_started
     )
 
-    slowest_solve = 0.0
+    slowest_path = 0.0
+    family_cell_rects: list = []
+    family_nets: list[str] = []
+    family_net_rects: list = []
     for task in tasks:  # canonical order — determinism contract
         outcome = outcomes[task.task_id]
-        slowest_solve = max(slowest_solve, outcome.solve_seconds)
+        slowest_path = max(
+            slowest_path,
+            outcome.build_seconds
+            + outcome.presolve_seconds
+            + outcome.solve_seconds,
+        )
+        result.build_seconds += outcome.build_seconds
         result.solve_seconds += outcome.solve_seconds
         result.presolve_seconds += outcome.presolve_seconds
-        status, moved = _apply_outcome(
-            design, params, problems[task.task_id], outcome, result
+        if (
+            not outcome.built
+            and not outcome.error
+            and not outcome.timed_out
+        ):
+            # The worker-side build found nothing optimizable —
+            # silently dropped, like the parent-side build returning
+            # None used to be.
+            continue
+        if outcome.built:
+            result.windows_built += 1
+            result.pairs_considered += outcome.num_pairs
+        status, moved, delta, write = _apply_outcome(
+            design, params, outcome, result
         )
         result.moved_cells += moved
-        if (
-            cache is not None
-            and tokens[task.task_id] is not None
-            and status in ("no_move", "reverted")
+        if status == "applied":
+            result.objective_delta += delta
+            family_cell_rects.extend(write.cell_rects)
+            family_nets.extend(write.nets)
+            family_net_rects.extend(write.net_rects)
+        is_fixpoint = (
+            status in ("no_move", "reverted")
             and outcome.solution is not None
             and outcome.solution.status is SolveStatus.OPTIMAL
-        ):
+        )
+        if is_fixpoint:
             # Fixpoint: the optimal solve produced no (surviving)
             # move.  Identical content next pass can skip the window.
-            # Applied windows are NOT cached — the next pass
+            # Applied windows are NOT cached/marked — the next pass
             # enumerates candidates around the new positions.
-            cache.store(tokens[task.task_id])
+            if cache is not None and tokens[task.task_id] is not None:
+                cache.store(tokens[task.task_id])
+            if dirty is not None:
+                dirty.mark_clean(
+                    keys[task.task_id],
+                    probes[task.task_id],
+                    nets=outcome.nets,
+                )
         if telemetry is not None:
             telemetry.record_window(
                 WindowRecord(
@@ -298,75 +433,97 @@ def _run_family(
                     family=family_index,
                     ix=task.ix,
                     iy=task.iy,
-                    build_seconds=build_seconds[task.task_id],
+                    build_seconds=outcome.build_seconds,
                     queue_seconds=outcome.queue_seconds,
                     presolve_seconds=outcome.presolve_seconds,
                     solve_seconds=outcome.solve_seconds,
                     status=status,
                     attempts=outcome.attempts,
                     moved_cells=moved,
-                    num_pairs=task.num_pairs,
-                    error=outcome.error,
+                    num_pairs=outcome.num_pairs,
+                    error=outcome.error or outcome.apply_error,
                 )
             )
-    result.modeled_parallel_seconds += slowest_solve
+    result.modeled_parallel_seconds += slowest_path
+    if dirty is not None and (family_cell_rects or family_nets):
+        # Batched per family, after its applies: this matches the
+        # slice-before-apply ordering of the engine itself, so a
+        # skipped window never observes a placement state a non-skip
+        # run would not also have observed.
+        dirty.note_dirty(
+            family_cell_rects,
+            nets=family_nets,
+            net_rects=family_net_rects,
+        )
     return next_task_id
 
 
 def _apply_outcome(
     design: Design,
     params: OptParams,
-    problem: WindowProblem,
     outcome: WindowTaskResult,
     result: DistOptResult,
-) -> tuple[str, int]:
-    """Fold one solve outcome into the design; returns (status, moved)."""
+) -> tuple[str, int, float, tuple]:
+    """Fold one solve outcome into the design; returns
+    ``(status, moved, objective_delta, dirty_rects)``."""
     if outcome.timed_out:
         result.windows_timed_out += 1
-        return "timed_out", 0
+        return "timed_out", 0, 0.0, ()
     if outcome.error:
         result.windows_failed += 1
-        return "failed", 0
+        return "failed", 0, 0.0, ()
     solution = outcome.solution
     if solution is None or not solution.status.has_solution:
         result.windows_failed += 1
-        return "no_solution", 0
-    moved, status = _apply_guarded(
-        design, params, problem, solution, result
-    )
-    return status, moved
+        return "no_solution", 0, 0.0, ()
+    if outcome.apply_error or outcome.moves is None:
+        # The worker could not decode the solution into moves
+        # (corrupt λ selection) — deterministic, not retried.
+        result.windows_failed += 1
+        return "failed", 0, 0.0, ()
+    return _apply_guarded(design, params, outcome, result)
 
 
 def _apply_guarded(
     design: Design,
     params: OptParams,
-    problem: WindowProblem,
-    solution: Solution,
+    outcome: WindowTaskResult,
     result: DistOptResult,
-) -> tuple[int, str]:
-    """Apply one window solution behind the local-objective guard;
-    returns (cells moved, record status)."""
-    nets = [design.nets[name] for name in problem.nets]
+) -> tuple[str, int, float, tuple]:
+    """Apply one window's moves behind the local-objective guard.
+
+    Returns ``(status, moved, delta, write)`` where ``delta`` is the
+    *exact* global objective change (``after − before`` over the
+    window's touched nets — every net whose HPWL/alignment terms an
+    applied move can change is in that set, so the local delta IS the
+    global delta) and ``write`` is the applied move's
+    :class:`~repro.core.dirty.DirtyWrite` (``()`` when nothing was
+    applied).
+    """
+    nets = [design.nets[name] for name in outcome.nets]
     before_local = calculate_objective(design, params, nets)
     snapshot = {
-        name: _placement_of(design, name) for name in problem.movable
+        name: _placement_of(design, name) for name in outcome.movable
     }
-    try:
-        moved = apply_solution(design, problem, solution)
-    except ValueError:
-        result.windows_failed += 1
-        return 0, "failed"
-    if moved == 0:
-        return 0, "no_move"
+    changed: list[str] = []
+    for name, column, row, flipped in outcome.moves:
+        prev = snapshot[name]
+        design.place(name, column, row, flipped)
+        inst = design.instances[name]
+        if (inst.x, inst.y, inst.orientation) != prev:
+            changed.append(name)
+    if not changed:
+        return "no_move", 0, 0.0, ()
     after_local = calculate_objective(design, params, nets)
     if after_local > before_local - 1e-9:
         for name, state in snapshot.items():
             inst = design.instances[name]
             inst.x, inst.y, inst.orientation = state
         result.windows_reverted += 1
-        return 0, "reverted"
+        return "reverted", 0, 0.0, ()
     result.windows_applied += 1
-    return moved, "applied"
+    write = dirty_write_for_moves(design, changed, snapshot)
+    return "applied", len(changed), after_local - before_local, write
 
 
 def _placement_of(design: Design, name: str):

@@ -44,7 +44,7 @@ from repro.core.window import Window
 from repro.geometry import Orientation
 from repro.milp.model import Constraint, LinExpr, Model, Sense, Var
 from repro.milp.solution import Solution
-from repro.netlist.design import Design, Net, PinRef
+from repro.netlist.design import Design, Instance, Net, PinRef
 from repro.tech.arch import AlignmentMode
 
 #: Total objective weight available to the λ tie-break perturbation.
@@ -219,18 +219,22 @@ def build_window_model(
     )
 
 
-def apply_solution(
-    design: Design, problem: WindowProblem, solution: Solution
-) -> int:
-    """Write the selected candidates back into ``design``.
+def solution_moves(
+    problem: WindowProblem, solution: Solution
+) -> tuple[tuple[str, int, int, bool], ...]:
+    """Decode a window solution into plain placement moves.
 
-    Returns the number of instances whose placement changed.
+    Returns one ``(cell, column, row, flipped)`` per movable cell, in
+    the problem's canonical cell order.  This is the only part of a
+    solution the parent needs to apply it, so it is what a slice-mode
+    :class:`~repro.runtime.task.WindowTask` ships back across the
+    process boundary.
 
     Raises:
-        ValueError: if any cell has no selected candidate (corrupt
-            solution) — the design is left untouched in that case.
+        ValueError: if any cell has no (or more than one) selected
+            candidate — a corrupt solution.
     """
-    chosen: dict[str, Candidate] = {}
+    moves: list[tuple[str, int, int, bool]] = []
     for name in problem.movable:
         cands = problem.candidates[name]
         lams = problem.lambda_vars[name]
@@ -243,18 +247,85 @@ def apply_solution(
             raise ValueError(
                 f"{name}: {len(picked)} candidates selected"
             )
-        chosen[name] = picked[0]
+        cand = picked[0]
+        moves.append((name, cand.column, cand.row, cand.flipped))
+    return tuple(moves)
+
+
+def apply_moves(
+    design: Design, moves: tuple[tuple[str, int, int, bool], ...]
+) -> int:
+    """Place decoded moves; returns how many placements changed."""
     moved = 0
-    for name, cand in chosen.items():
+    for name, column, row, flipped in moves:
         inst = design.instances[name]
-        if (inst.x, inst.y, inst.orientation) != (
-            cand.x,
-            cand.y,
-            cand.orientation,
-        ):
+        before = (inst.x, inst.y, inst.orientation)
+        design.place(name, column, row, flipped)
+        if (inst.x, inst.y, inst.orientation) != before:
             moved += 1
-        design.place(name, cand.column, cand.row, cand.flipped)
     return moved
+
+
+def apply_solution(
+    design: Design, problem: WindowProblem, solution: Solution
+) -> int:
+    """Write the selected candidates back into ``design``.
+
+    Returns the number of instances whose placement changed.
+
+    Raises:
+        ValueError: if any cell has no selected candidate (corrupt
+            solution) — the design is left untouched in that case
+        (decoding happens before the first placement write).
+    """
+    return apply_moves(design, solution_moves(problem, solution))
+
+
+def window_slice(
+    design: Design, window: Window
+) -> Design | None:
+    """The minimal sub-design a worker-side window build needs.
+
+    Collects every instance whose bbox overlaps the window's probe
+    rect (everything :func:`build_window_model` reads spatially: the
+    movables plus every potential site blocker), the movable cells'
+    nets, and those nets' off-window terminal instances (HPWL anchors
+    read through ``pin_position``).  ``build_window_model`` on the
+    slice is input-identical to a build on the full design — same
+    movables, same blocked sites, same touched nets, same pin
+    geometry — so it produces the same model, bit for bit.
+
+    Returns ``None`` when the window holds no movable cell (nothing
+    to build, mirroring the full build's early-out).
+
+    Instance/net objects are *shared* with the parent design, not
+    copied: the worker only reads them, and pickling a task for a
+    process executor deep-copies the slice anyway.
+    """
+    probe = probe_rect(design, window)
+    rect = window.rect
+    instances: dict[str, Instance] = {}
+    movable: set[str] = set()
+    for name, inst in design.instances.items():
+        if not inst.bbox.overlaps_open(probe):
+            continue
+        instances[name] = inst
+        if not inst.fixed and rect.contains_rect(inst.bbox):
+            movable.add(name)
+    if not movable:
+        return None
+    nets: dict[str, Net] = {}
+    for net in design.nets_of_instances(movable):
+        nets[net.name] = net
+        for ref in net.pins:
+            if ref.instance not in instances:
+                instances[ref.instance] = design.instances[
+                    ref.instance
+                ]
+    sub = Design(design.name, design.tech, design.die)
+    sub.instances = instances
+    sub.nets = nets
+    return sub
 
 
 # ---------------------------------------------------------------- helpers

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.checkpoint import VM1Checkpoint
+from repro.core.dirty import DirtyTracker
 from repro.core.distopt import DistOptResult, dist_opt
 from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
@@ -43,6 +44,7 @@ class VM1OptResult:
     windows_failed: int = 0
     windows_timed_out: int = 0
     windows_cached: int = 0
+    windows_skipped_clean: int = 0
     passes: list[DistOptResult] = field(default_factory=list)
 
     @property
@@ -68,6 +70,8 @@ def vm1_opt(
     enable_shift: bool = True,
     presolve: bool = True,
     window_cache: bool = True,
+    dirty_tracking: bool = True,
+    objective_audit: bool = False,
     checkpoint_sink=None,
     resume: VM1Checkpoint | None = None,
 ) -> VM1OptResult:
@@ -97,6 +101,16 @@ def vm1_opt(
             :class:`~repro.core.windowcache.WindowSolveCache` so
             windows whose neighborhood has not changed since their
             last fixpoint solve are skipped (behaviour-preserving).
+        dirty_tracking: run the incremental convergence engine — a
+            cross-pass :class:`~repro.core.dirty.DirtyTracker` skips
+            verified-clean windows before probe/build, and the global
+            objective is delta-accounted from the guarded applies
+            instead of re-swept after every pass (both
+            behaviour-preserving; placements stay byte-identical with
+            the flag on or off).
+        objective_audit: paranoia knob — with ``dirty_tracking``,
+            every pass also runs the full objective sweep and raises
+            if the delta-accounted value drifts ≥ 1e-6 from it.
         checkpoint_sink: optional callable invoked with a
             :class:`~repro.core.checkpoint.VM1Checkpoint` after every
             completed DistOpt pass (crash-safe persistence is the
@@ -115,6 +129,7 @@ def vm1_opt(
         checkpointed count.
     """
     cache = WindowSolveCache() if window_cache else None
+    dirty = DirtyTracker() if dirty_tracking else None
     if solver is None:
         solver = HighsBackend(
             time_limit=params.time_limit, mip_rel_gap=params.mip_gap
@@ -128,7 +143,7 @@ def vm1_opt(
     resume_u = resume_iter = -1
     resume_phase = ""
     if resume is not None:
-        resume.restore(design, cache)
+        resume.restore(design, cache, dirty)
         initial = resume.initial_objective
         objective = resume.objective
         tx, ty = resume.tx, resume.ty
@@ -154,6 +169,7 @@ def vm1_opt(
             VM1Checkpoint.capture(
                 design,
                 cache,
+                dirty,
                 u_index=u_index,
                 iteration=iteration,
                 phase=phase,
@@ -208,6 +224,11 @@ def vm1_opt(
                         pass_label=f"move[{label}]",
                         presolve=presolve,
                         cache=cache,
+                        dirty=dirty,
+                        objective=(
+                            objective if dirty_tracking else None
+                        ),
+                        audit=objective_audit,
                     )
                     _absorb(result, move_pass)
                     objective = move_pass.objective
@@ -232,6 +253,11 @@ def vm1_opt(
                         pass_label=f"flip[{label}]",
                         presolve=presolve,
                         cache=cache,
+                        dirty=dirty,
+                        objective=(
+                            objective if dirty_tracking else None
+                        ),
+                        audit=objective_audit,
                     )
                     _absorb(result, flip_pass)
                     objective = flip_pass.objective
@@ -268,6 +294,7 @@ def _absorb(result: VM1OptResult, pass_result: DistOptResult) -> None:
     result.presolve_seconds += pass_result.presolve_seconds
     result.solve_seconds += pass_result.solve_seconds
     result.windows_cached += pass_result.windows_cached
+    result.windows_skipped_clean += pass_result.windows_skipped_clean
     result.modeled_parallel_seconds += (
         pass_result.modeled_parallel_seconds
     )

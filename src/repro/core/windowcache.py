@@ -43,10 +43,17 @@ CacheKey = tuple[int, int, int, int, int, int, bool]
 
 @dataclass(frozen=True)
 class CacheToken:
-    """A probe result: the key plus the content hash it saw."""
+    """A probe result: the key plus the content hash it saw.
+
+    ``nets`` carries the touched-net names the signature scan derived
+    (the nets of the window's movable cells) so a cache hit can mark
+    the window clean in the dirty tracker with its exact read set —
+    the hash itself does not preserve that structure.
+    """
 
     key: CacheKey
     content: bytes
+    nets: tuple[str, ...] = ()
 
 
 #: Default LRU capacity.  Sized for full-chip shard runs: a shard's
@@ -109,8 +116,8 @@ class WindowSolveCache:
             ly,
             allow_flip,
         )
-        content = self.signature(design, window)
-        token = CacheToken(key=key, content=content)
+        content, nets = self.signature_and_nets(design, window)
+        token = CacheToken(key=key, content=content, nets=nets)
         hit = self._entries.get(key) == content
         if hit:
             self.hits += 1
@@ -177,6 +184,15 @@ class WindowSolveCache:
     @staticmethod
     def signature(design: Design, window: Window) -> bytes:
         """Content hash of everything the window build reads."""
+        return WindowSolveCache.signature_and_nets(design, window)[0]
+
+    @staticmethod
+    def signature_and_nets(
+        design: Design, window: Window
+    ) -> tuple[bytes, tuple[str, ...]]:
+        """The content hash plus the touched-net names it covered
+        (the nets of the window's movable cells — the exact read set
+        a dirty-tracker mark needs)."""
         digest = hashlib.blake2b(digest_size=16)
         probe = probe_rect(design, window)
         movable: set[str] = set()
@@ -189,7 +205,9 @@ class WindowSolveCache:
             )
             if not inst.fixed and window.rect.contains_rect(inst.bbox):
                 movable.add(name)
+        nets: list[str] = []
         for net in design.nets_of_instances(movable):
+            nets.append(net.name)
             digest.update(f"|{net.name}".encode())
             for ref in net.pins:
                 inst = design.instances[ref.instance]
@@ -197,4 +215,4 @@ class WindowSolveCache:
                     f",{ref.instance}.{ref.pin}:{inst.x},{inst.y},"
                     f"{inst.orientation.value}".encode()
                 )
-        return digest.digest()
+        return digest.digest(), tuple(nets)

@@ -51,6 +51,11 @@ class FlowConfig:
             every solve (behaviour-preserving speedup).
         window_cache: skip windows unchanged since their last
             fixpoint solve (behaviour-preserving speedup).
+        dirty_tracking: incremental convergence engine — skip windows
+            whose probe neighborhood no applied move has touched since
+            their last verified fixpoint, and delta-account the pass
+            objective instead of re-sweeping all nets
+            (behaviour-preserving speedup; see DESIGN.md §11).
         shards: region-shard count for full-chip scale-out — a
             positive int or ``"auto"`` (sized from the design and
             ``jobs``; see :func:`repro.shard.resolve_shard_count`).
@@ -77,6 +82,7 @@ class FlowConfig:
     jobs: int = 1
     presolve: bool = True
     window_cache: bool = True
+    dirty_tracking: bool = True
     shards: int | str = 1
     halo_rows: int = 2
 
@@ -236,6 +242,7 @@ def run_flow(
                 executor=config.executor,
                 presolve=config.presolve,
                 window_cache=config.window_cache,
+                dirty_tracking=config.dirty_tracking,
                 checkpoint_dir=shard_checkpoint_dir,
                 resume=shard_resume,
                 progress=progress,
@@ -314,6 +321,7 @@ def _run_unsharded(
             progress=vm1_progress,
             presolve=config.presolve,
             window_cache=config.window_cache,
+            dirty_tracking=config.dirty_tracking,
             checkpoint_sink=checkpoint_sink,
             resume=resume,
         )

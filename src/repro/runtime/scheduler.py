@@ -146,5 +146,13 @@ class FamilyScheduler:
                 task_id=task.task_id, error=f"executor failure: {exc!r}"
             )
         wall = time.perf_counter() - submitted
-        result.queue_seconds = max(0.0, wall - result.solve_seconds)
+        # Queue wait = submission-to-result wall minus the work the
+        # worker actually did (slice-mode tasks build and presolve
+        # inside the worker, so those belong to work, not waiting).
+        worked = (
+            result.build_seconds
+            + result.presolve_seconds
+            + result.solve_seconds
+        )
+        result.queue_seconds = max(0.0, wall - worked)
         return result

@@ -1,20 +1,31 @@
 """Picklable window subproblems for cross-process execution.
 
 A :class:`WindowTask` is the unit of work the execution engine ships
-to a worker: the window's fully-built MILP (pins, intervals and local
-nets are already folded into the model's variables and constraints)
-plus a :class:`SolverSpec` describing how to construct the MILP
-backend on the far side of the process boundary.  Everything needed to
-*apply* a solution (candidate lists, λ variables) stays behind in the
-parent's :class:`~repro.core.formulation.WindowProblem` — only the
-solve crosses the boundary, and only a
-:class:`~repro.milp.solution.Solution` comes back.
+to a worker.  It comes in two flavors:
+
+* **slice mode** (the DistOpt hot path): the task carries the
+  window's *cell/net slice* — a minimal sub-``Design`` holding every
+  instance the model build reads plus the movable cells' nets — and
+  the build itself (:func:`~repro.core.formulation.build_window_model`
+  + presolve) runs inside the worker, so model-construction cost
+  parallelizes across the executor instead of serializing in the
+  parent.  The worker returns the solve outcome *and* the decoded
+  moves ``(cell, column, row, flipped)``; the parent re-applies them
+  behind the local-objective guard, which is what keeps parallel runs
+  byte-identical to serial ones.
+* **model mode** (tools/tests): the task carries a fully-built
+  :class:`~repro.milp.model.Model` verbatim and the worker only
+  solves it.
+
+Either way a :class:`SolverSpec` describes how to construct the MILP
+backend on the far side of the process boundary, and only plain data
+crosses back.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.milp.model import Model
@@ -22,6 +33,9 @@ from repro.milp.solution import Solution, SolveStatus
 
 if TYPE_CHECKING:  # circular-import guard: formulation is heavy
     from repro.core.formulation import WindowProblem
+    from repro.core.params import OptParams
+    from repro.core.window import Window
+    from repro.netlist.design import Design
 
 
 @dataclass(frozen=True)
@@ -87,10 +101,30 @@ class WindowTaskResult:
     solution: Solution | None = None
     solve_seconds: float = 0.0
     presolve_seconds: float = 0.0
+    build_seconds: float = 0.0
     queue_seconds: float = 0.0
     attempts: int = 1
     timed_out: bool = False
     error: str = ""
+    #: False when a slice-mode build found nothing optimizable (the
+    #: window had no legal candidates); such windows are silently
+    #: dropped by the caller, exactly like a parent-side build
+    #: returning ``None`` used to be.
+    built: bool = True
+    #: slice mode: the built problem's touched-net names — the parent
+    #: evaluates its local-objective guard over exactly these.
+    nets: tuple[str, ...] = ()
+    #: slice mode: the built problem's movable cell names (canonical
+    #: build order), for snapshot/revert bookkeeping in the parent.
+    movable: tuple[str, ...] = ()
+    #: slice mode: decoded solution as ``(cell, column, row, flipped)``
+    #: per movable cell; None when no usable solution came back.
+    moves: tuple[tuple[str, int, int, bool], ...] | None = None
+    #: slice mode: candidate dM1 pin pairs in the built model.
+    num_pairs: int = 0
+    #: slice mode: a solution came back but could not be decoded into
+    #: moves (corrupt λ selection).  Deterministic — never retried.
+    apply_error: str = ""
 
     @property
     def ok(self) -> bool:
@@ -112,11 +146,21 @@ class WindowTask:
             order, which is what makes parallel runs deterministic.
         ix/iy: window grid coordinates (for telemetry/debugging).
         family: independent-family index the window belongs to.
-        model: the built window MILP (self-contained).
         solver: backend recipe used by the worker.
-        nets: names of the window's touched nets (metadata only).
-        num_movable: movable cell count (metadata only).
-        num_pairs: candidate dM1 pin pairs in the model (metadata).
+        model: a pre-built window MILP (model mode); ``None`` selects
+            slice mode, where ``design``/``window``/``params`` +
+            ``lx``/``ly``/``allow_flip`` describe the build to run
+            inside the worker.
+        design: slice mode — the window's cell/net slice (see
+            :func:`repro.core.formulation.window_slice`).
+        window: slice mode — the window to build.
+        params: slice mode — objective weights for the build.
+        lx/ly: slice mode — perturbation range (sites/rows).
+        allow_flip: slice mode — enable the flip degree of freedom.
+        nets: names of the window's touched nets (model-mode metadata;
+            slice mode reports them from the worker-side build).
+        num_movable: movable cell count (model-mode metadata).
+        num_pairs: candidate dM1 pin pairs (model-mode metadata).
         presolve: run :func:`repro.milp.presolve.presolve` on the
             model inside the worker (and lift the solution back), so
             the reduction cost parallelizes with the solves.
@@ -126,8 +170,14 @@ class WindowTask:
     ix: int
     iy: int
     family: int
-    model: Model
     solver: SolverSpec
+    model: Model | None = None
+    design: "Design | None" = None
+    window: "Window | None" = None
+    params: "OptParams | None" = None
+    lx: int = 0
+    ly: int = 0
+    allow_flip: bool = False
     nets: tuple[str, ...] = ()
     num_movable: int = 0
     num_pairs: int = 0
@@ -143,22 +193,53 @@ class WindowTask:
         solver: SolverSpec,
         presolve: bool = True,
     ) -> "WindowTask":
-        """Extract the shippable part of a built window problem."""
+        """Model-mode task from an already-built window problem."""
         return cls(
             task_id=task_id,
             ix=problem.window.ix,
             iy=problem.window.iy,
             family=family,
-            model=problem.model,
             solver=solver,
+            model=problem.model,
             nets=tuple(problem.nets),
             num_movable=len(problem.movable),
             num_pairs=problem.num_pairs,
             presolve=presolve,
         )
 
+    @classmethod
+    def from_slice(
+        cls,
+        design: "Design",
+        window: "Window",
+        params: "OptParams",
+        *,
+        task_id: int,
+        family: int,
+        solver: SolverSpec,
+        lx: int,
+        ly: int,
+        allow_flip: bool,
+        presolve: bool = True,
+    ) -> "WindowTask":
+        """Slice-mode task: the worker builds, presolves, and solves."""
+        return cls(
+            task_id=task_id,
+            ix=window.ix,
+            iy=window.iy,
+            family=family,
+            solver=solver,
+            design=design,
+            window=window,
+            params=params,
+            lx=lx,
+            ly=ly,
+            allow_flip=allow_flip,
+            presolve=presolve,
+        )
+
     def run(self) -> WindowTaskResult:
-        """Execute one solve attempt; never raises.
+        """Execute one build+solve attempt; never raises.
 
         Runs inside the worker (process, thread, or inline for the
         serial executor).  Solver exceptions and ``ERROR`` statuses are
@@ -168,10 +249,40 @@ class WindowTask:
         the boundary — the parent only ever sees original indices.
         """
         started = time.perf_counter()
+        build_seconds = 0.0
         presolve_seconds = 0.0
+        built = self.model is not None
+        nets = self.nets
+        movable: tuple[str, ...] = ()
+        num_pairs = self.num_pairs
+        problem = None
         try:
             backend = self.solver.build()
             model = self.model
+            if model is None:
+                from repro.core.formulation import build_window_model
+
+                t0 = time.perf_counter()
+                problem = build_window_model(
+                    self.design,
+                    self.window,
+                    self.params,
+                    lx=self.lx,
+                    ly=self.ly,
+                    allow_flip=self.allow_flip,
+                )
+                build_seconds = time.perf_counter() - t0
+                if problem is None:
+                    return WindowTaskResult(
+                        task_id=self.task_id,
+                        build_seconds=build_seconds,
+                        built=False,
+                    )
+                built = True
+                model = problem.model
+                nets = tuple(problem.nets)
+                movable = tuple(problem.movable)
+                num_pairs = problem.num_pairs
             reduction = None
             if self.presolve:
                 from repro.milp.presolve import presolve as _presolve
@@ -184,13 +295,24 @@ class WindowTask:
             if reduction is not None:
                 solution = reduction.lift(solution)
         except Exception as exc:  # noqa: BLE001 — worker boundary
+            overhead = build_seconds + presolve_seconds
             return WindowTaskResult(
                 task_id=self.task_id,
-                solve_seconds=time.perf_counter() - started,
+                solve_seconds=max(
+                    0.0, time.perf_counter() - started - overhead
+                ),
+                build_seconds=build_seconds,
                 presolve_seconds=presolve_seconds,
+                built=built,
+                nets=nets,
+                movable=movable,
+                num_pairs=num_pairs,
                 error=f"{type(exc).__name__}: {exc}",
             )
-        elapsed = time.perf_counter() - started - presolve_seconds
+        elapsed = (
+            time.perf_counter() - started
+            - build_seconds - presolve_seconds
+        )
         error = ""
         timed_out = False
         if solution.status is SolveStatus.ERROR:
@@ -199,11 +321,31 @@ class WindowTask:
             # without an incumbent is a timeout, not a transient
             # failure — retrying it would just burn the budget again.
             timed_out = "time limit" in error.lower()
+        moves = None
+        apply_error = ""
+        if (
+            problem is not None
+            and not error
+            and solution.status.has_solution
+        ):
+            from repro.core.formulation import solution_moves
+
+            try:
+                moves = solution_moves(problem, solution)
+            except ValueError as exc:
+                apply_error = str(exc)
         return WindowTaskResult(
             task_id=self.task_id,
             solution=solution,
             solve_seconds=elapsed,
             presolve_seconds=presolve_seconds,
+            build_seconds=build_seconds,
             timed_out=timed_out,
             error=error,
+            built=built,
+            nets=nets,
+            movable=movable,
+            moves=moves,
+            num_pairs=num_pairs,
+            apply_error=apply_error,
         )

@@ -22,10 +22,16 @@ from pathlib import Path
 logger = logging.getLogger("repro.runtime")
 
 #: JSON schema identifier written into every telemetry document.
-#: v2 adds the presolve share of each window's time split, the
+#: v2 added the presolve share of each window's time split, the
 #: ``cached`` window status, and the cross-pass window-cache section
 #: (hits / misses / hit rate, per pass and run-wide).
-TELEMETRY_SCHEMA = "repro.runtime.telemetry/v2"
+#: v3 adds dirty-tracking visibility (the ``skipped_clean`` window
+#: status and per-pass/summary ``windows_skipped_clean`` counts) and
+#: moves ``build_seconds`` to the worker side: window models are now
+#: built inside the executor workers, so each record's build time is
+#: measured in the worker and ``modeled_parallel_seconds`` charges
+#: the full per-window build+presolve+solve path.
+TELEMETRY_SCHEMA = "repro.runtime.telemetry/v3"
 
 
 @dataclass
@@ -42,7 +48,7 @@ class WindowRecord:
     solve_seconds: float = 0.0
     status: str = "skipped"  # applied | reverted | no_move |
     #                          no_solution | failed | timed_out |
-    #                          skipped | cached
+    #                          skipped | cached | skipped_clean
     attempts: int = 0
     moved_cells: int = 0
     num_pairs: int = 0
@@ -50,18 +56,23 @@ class WindowRecord:
 
 
 def modeled_parallel_seconds(records: list[WindowRecord]) -> float:
-    """Parallel-machine model: per (pass, family) the slowest *solve*
-    bounds the batch; families and passes run back-to-back.
+    """Parallel-machine model: per (pass, family) the slowest window
+    *path* — build + presolve + solve, all of which run inside one
+    worker — bounds the batch; families and passes run back-to-back.
 
-    Build time is excluded deliberately — models are built in the
-    dispatching process and would pipeline with solves on a parallel
-    machine; including it (as the pre-runtime code did) inflated the
-    model by the Python model-build overhead.
+    Before telemetry v3 models were built serially in the dispatching
+    process and build time was excluded here; with worker-side builds
+    the whole path parallelizes, so the whole path is charged.
     """
     slowest: dict[tuple[str, int], float] = {}
     for rec in records:
         key = (rec.pass_label, rec.family)
-        slowest[key] = max(slowest.get(key, 0.0), rec.solve_seconds)
+        path = (
+            rec.build_seconds
+            + rec.presolve_seconds
+            + rec.solve_seconds
+        )
+        slowest[key] = max(slowest.get(key, 0.0), path)
     return sum(slowest.values())
 
 
@@ -101,6 +112,7 @@ class RunTelemetry:
         presolve_seconds: float = 0.0,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        windows_skipped_clean: int = 0,
     ) -> None:
         entry = {
             "label": label,
@@ -116,15 +128,18 @@ class RunTelemetry:
             "timed_out": timed_out,
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,
+            "windows_skipped_clean": windows_skipped_clean,
         }
         self.passes.append(entry)
         logger.info(
             "pass %s: %d windows (%d applied, %d failed, %d timed "
-            "out, %d cached) wall=%.2fs solve=%.2fs parallel "
-            "measured=%.2fs modeled=%.2fs [%s x%d]",
+            "out, %d cached, %d clean-skipped) wall=%.2fs "
+            "solve=%.2fs parallel measured=%.2fs modeled=%.2fs "
+            "[%s x%d]",
             label, windows, applied, failed, timed_out, cache_hits,
-            wall_seconds, solve_seconds, measured_parallel_seconds,
-            modeled_parallel_seconds, self.executor, self.jobs,
+            windows_skipped_clean, wall_seconds, solve_seconds,
+            measured_parallel_seconds, modeled_parallel_seconds,
+            self.executor, self.jobs,
         )
 
     # ------------------------------------------------------ aggregates
@@ -132,7 +147,7 @@ class RunTelemetry:
         return sum(1 for r in self.records if r.status == status)
 
     def summary(self) -> dict:
-        """The telemetry JSON document (schema v2)."""
+        """The telemetry JSON document (schema v3)."""
         build = sum(r.build_seconds for r in self.records)
         presolve = sum(r.presolve_seconds for r in self.records)
         solve = sum(r.solve_seconds for r in self.records)
@@ -159,6 +174,7 @@ class RunTelemetry:
                 "failed": self._count("failed"),
                 "timed_out": self._count("timed_out"),
                 "cached": self._count("cached"),
+                "skipped_clean": self._count("skipped_clean"),
             },
             "seconds": {
                 "wall": self.wall_seconds,

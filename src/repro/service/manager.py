@@ -85,6 +85,7 @@ _FLOW_SPEC_FIELDS = {
     "jobs": int,
     "presolve": bool,
     "window_cache": bool,
+    "dirty_tracking": bool,
     "timing_driven": bool,
     "shards": _shards,
     "halo_rows": int,
@@ -185,6 +186,7 @@ class JobManager:
             "passes": 0,
             "shards_completed": 0,
             "seam_passes": 0,
+            "windows_skipped_clean": 0,
         }
 
     # ------------------------------------------------------ lifecycle
@@ -318,6 +320,10 @@ class JobManager:
                 self.counters["shards_completed"] += 1
             elif stage == "seam":
                 self.counters["seam_passes"] += 1
+            if stage in ("pass", "seam"):
+                self.counters["windows_skipped_clean"] += int(
+                    info.get("windows_skipped_clean", 0) or 0
+                )
             self.store.append_event(
                 job_id, {"type": stage, **info}
             )

@@ -145,6 +145,7 @@ class ShardTask:
     inner_jobs: int = 1
     presolve: bool = True
     window_cache: bool = True
+    dirty_tracking: bool = True
     checkpoint_path: str | None = None
     resume_doc: dict | None = None
 
@@ -170,6 +171,7 @@ class ShardTask:
                 executor=ex,
                 presolve=self.presolve,
                 window_cache=self.window_cache,
+                dirty_tracking=self.dirty_tracking,
                 checkpoint_sink=sink,
                 resume=resume,
             )
@@ -441,6 +443,7 @@ def run_sharded(
     executor: str = "auto",
     presolve: bool = True,
     window_cache: bool = True,
+    dirty_tracking: bool = True,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     seam: bool = True,
@@ -463,7 +466,9 @@ def run_sharded(
         jobs: total worker budget (see :func:`plan_workers`).
         executor: shard-level executor kind (``auto``/``serial``/
             ``thread``/``process``).
-        presolve / window_cache: forwarded to every ``vm1_opt``.
+        presolve / window_cache / dirty_tracking: forwarded to
+            every ``vm1_opt`` (and the seam pass — dirty regions are
+            seeded from the stitch boundaries).
         checkpoint_dir: when given, shard-granular crash-safe state is
             kept here (see :class:`ShardCheckpointStore`).
         resume: continue from ``checkpoint_dir`` state if compatible.
@@ -480,6 +485,7 @@ def run_sharded(
         initial_final = _run_single(
             design, params, jobs, executor,
             presolve=presolve, window_cache=window_cache,
+            dirty_tracking=dirty_tracking,
         )
         result = ShardRunResult(
             num_shards=1,
@@ -559,6 +565,7 @@ def run_sharded(
                 inner_jobs=inner_jobs,
                 presolve=presolve,
                 window_cache=window_cache,
+                dirty_tracking=dirty_tracking,
                 checkpoint_path=(
                     str(store.ckpt_path(shard.index))
                     if store is not None
@@ -624,6 +631,7 @@ def run_sharded(
                 plan,
                 executor=seam_executor,
                 presolve=presolve,
+                dirty_tracking=dirty_tracking,
             )
         stitch.seam_windows = stitch.seam_pass.windows_built
         if progress is not None:
@@ -633,6 +641,9 @@ def run_sharded(
                     "windows": stitch.seam_pass.windows_built,
                     "applied": stitch.seam_pass.windows_applied,
                     "moved_cells": stitch.seam_pass.moved_cells,
+                    "windows_skipped_clean": (
+                        stitch.seam_pass.windows_skipped_clean
+                    ),
                 },
             )
     if verify:
@@ -674,6 +685,7 @@ def _run_single(
     *,
     presolve: bool,
     window_cache: bool,
+    dirty_tracking: bool = True,
 ) -> VM1OptResult:
     """The shards == 1 fast path: plain (byte-identical) vm1_opt."""
     with make_executor(executor, jobs) as ex:
@@ -683,4 +695,5 @@ def _run_single(
             executor=ex,
             presolve=presolve,
             window_cache=window_cache,
+            dirty_tracking=dirty_tracking,
         )

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.check.oracle import check_legal as oracle_check_legal
+from repro.core.dirty import DirtyTracker
 from repro.core.distopt import DistOptResult, dist_opt
 from repro.core.params import OptParams
 from repro.core.window import Window
@@ -86,6 +87,30 @@ def seam_window_filter(design: Design, plan: ShardPlan):
     return accept
 
 
+def seam_dirty_tracker(
+    design: Design, plan: ShardPlan
+) -> DirtyTracker:
+    """A default-clean tracker seeded with the seam bands.
+
+    After a sharded run, only the seam neighborhoods hold placements
+    that were optimized against stale (frozen-ghost) context — the
+    shard interiors are genuine fixpoints of their own runs.  Seeding
+    the stitch boundaries as the only dirty regions encodes exactly
+    the restriction :func:`seam_window_filter` applies, as dirty-state
+    the incremental engine can also maintain *through* the pass
+    (applied seam moves extend the dirty set).
+    """
+    rh = design.tech.row_height
+    margin = max(1, plan.halo_rows) * rh
+    die = design.die
+    return DirtyTracker(
+        seed_dirty=[
+            (die.xlo, y - margin, die.xhi, y + margin)
+            for y in plan.seam_ys
+        ]
+    )
+
+
 def run_seam_pass(
     design: Design,
     params: OptParams,
@@ -94,13 +119,17 @@ def run_seam_pass(
     executor=None,
     telemetry=None,
     presolve: bool = True,
+    dirty_tracking: bool = True,
 ) -> DistOptResult:
     """One boundary-window DistOpt pass over every seam.
 
     Window geometry comes from the last parameter set of ``params``
     (the finest grid the shards themselves finished with); the grid is
     phase-shifted by half a window vertically so that windows straddle
-    the seams instead of abutting them.
+    the seams instead of abutting them.  With ``dirty_tracking`` the
+    pass also carries a :func:`seam_dirty_tracker` seeded from the
+    stitch boundaries, so any window the filter admits whose probe
+    neighborhood lies outside every seam band is skipped pre-build.
     """
     tech = design.tech
     u = params.sequence[-1]
@@ -121,6 +150,11 @@ def run_seam_pass(
         pass_label="seam",
         presolve=presolve,
         window_filter=seam_window_filter(design, plan),
+        dirty=(
+            seam_dirty_tracker(design, plan)
+            if dirty_tracking
+            else None
+        ),
     )
 
 

@@ -80,15 +80,18 @@ def test_full_run_with_hot_path_is_byte_identical():
     design_a = fresh_design()
     baseline = vm1_opt(
         design_a, params, presolve=False, window_cache=False,
-        enable_shift=False,
+        enable_shift=False, dirty_tracking=False,
     )
     snapshot_a = design_a.placement_snapshot()
 
+    # Dirty tracking off so the *cache* is the mechanism under test:
+    # with it on, fixpoint windows are skipped as clean before the
+    # cache is ever probed (tests/core/test_dirty.py covers that path).
     design_b = fresh_design()
     telemetry = RunTelemetry()
     fast = vm1_opt(
         design_b, params, presolve=True, window_cache=True,
-        enable_shift=False, telemetry=telemetry,
+        enable_shift=False, telemetry=telemetry, dirty_tracking=False,
     )
     snapshot_b = design_b.placement_snapshot()
 

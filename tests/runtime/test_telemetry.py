@@ -30,14 +30,21 @@ def test_modeled_parallel_is_sum_of_family_maxima():
     assert modeled_parallel_seconds(records) == pytest.approx(5.0)
 
 
-def test_modeled_parallel_excludes_build_time():
-    """Satellite fix: the parallel model reflects solver work only —
-    model-build overhead must not inflate it."""
+def test_modeled_parallel_charges_worker_build_time():
+    """v3: window models are built inside the workers, so the
+    per-window path charged to the parallel model is
+    build + presolve + solve, not solve alone."""
     records = [
         rec(family=0, solve=1.0, build=100.0),
         rec(family=1, solve=2.0, build=50.0),
     ]
-    assert modeled_parallel_seconds(records) == pytest.approx(3.0)
+    assert modeled_parallel_seconds(records) == pytest.approx(153.0)
+    # Within a family the slowest *path* wins, not the slowest solve.
+    records = [
+        rec(family=0, solve=5.0, build=0.0),
+        rec(family=0, solve=1.0, build=9.0),
+    ]
+    assert modeled_parallel_seconds(records) == pytest.approx(10.0)
 
 
 def test_modeled_parallel_separates_passes():
@@ -49,10 +56,11 @@ def test_modeled_parallel_separates_passes():
     assert modeled_parallel_seconds(records) == pytest.approx(3.0)
 
 
-def test_distopt_modeled_parallel_uses_solve_time_only():
-    """End-to-end version of the satellite fix: a solver whose solve
-    step is instant must yield a near-zero parallel model even though
-    model builds dominate wall time."""
+def test_distopt_modeled_parallel_matches_record_paths():
+    """End-to-end: DistOpt's modeled-parallel figure equals the
+    telemetry-record computation and is bounded by the serial
+    build+presolve+solve total (per family only the slowest path is
+    charged)."""
     from repro.core import OptParams
     from repro.core.distopt import dist_opt
     from repro.library import build_library
@@ -75,10 +83,13 @@ def test_distopt_modeled_parallel_uses_solve_time_only():
     )
     assert result.windows_built > 0
     assert result.build_seconds > 0.0
-    # The fake solve returns instantly; the only per-window solve cost
-    # is the (microsecond-scale) dispatch — orders of magnitude below
-    # the build time that the old implementation counted.
-    assert result.modeled_parallel_seconds < result.build_seconds
+    assert result.modeled_parallel_seconds > 0.0
+    serial_total = (
+        result.build_seconds
+        + result.presolve_seconds
+        + result.solve_seconds
+    )
+    assert result.modeled_parallel_seconds <= serial_total + 1e-9
     assert result.modeled_parallel_seconds == pytest.approx(
         modeled_parallel_seconds(telemetry.records)
     )
@@ -108,6 +119,7 @@ def test_summary_schema_and_save(tmp_path):
     assert summary["windows"] == {
         "total": 3, "applied": 1, "reverted": 1, "no_move": 0,
         "no_solution": 0, "failed": 1, "timed_out": 0, "cached": 0,
+        "skipped_clean": 0,
     }
     assert summary["cache"] == {
         "hits": 0, "misses": 0, "hit_rate": 0.0,
@@ -115,7 +127,9 @@ def test_summary_schema_and_save(tmp_path):
     seconds = summary["seconds"]
     assert seconds["build"] == pytest.approx(0.75)
     assert seconds["solve"] == pytest.approx(3.5)
-    assert seconds["modeled_parallel"] == pytest.approx(2.5)
+    # v3 path model: family 0's slowest build+solve path (0.25 + 2.0)
+    # plus family 1's (0.5).
+    assert seconds["modeled_parallel"] == pytest.approx(2.75)
     assert seconds["measured_parallel"] == pytest.approx(2.5)
     assert summary["speedup"]["measured"] == pytest.approx(3.5 / 2.5)
     assert len(summary["passes"]) == 1
@@ -126,10 +140,10 @@ def test_summary_schema_and_save(tmp_path):
     assert json.loads(path.read_text())["schema"] == TELEMETRY_SCHEMA
 
 
-def test_v2_json_roundtrip_from_real_run(tmp_path):
-    """Satellite: write → load → validate the v2 fields the service's
-    progress stream depends on (schema id, presolve seconds, cache
-    hits/misses)."""
+def test_v3_json_roundtrip_from_real_run(tmp_path):
+    """Write → load → validate the v3 fields the service's progress
+    stream depends on (schema id, presolve seconds, cache hits/misses,
+    clean-skip counts)."""
     from repro.core import OptParams, WindowSolveCache
     from repro.core.distopt import dist_opt
     from repro.library import build_library
@@ -164,8 +178,12 @@ def test_v2_json_roundtrip_from_real_run(tmp_path):
     path = telemetry.save(tmp_path / "telemetry.json")
     doc = json.loads(path.read_text())
 
-    assert doc["schema"] == "repro.runtime.telemetry/v2"
+    assert doc["schema"] == "repro.runtime.telemetry/v3"
     assert doc["schema"] == TELEMETRY_SCHEMA
+    # v3 clean-skip visibility: present per pass and in the summary
+    # (zero here — no DirtyTracker was wired into these passes).
+    assert all("windows_skipped_clean" in p for p in doc["passes"])
+    assert doc["windows"]["skipped_clean"] == 0
     # v2 presolve split: present run-wide, per pass, and per window.
     assert doc["seconds"]["presolve"] >= 0.0
     assert all("presolve_seconds" in p for p in doc["passes"])
