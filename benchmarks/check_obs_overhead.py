@@ -1,0 +1,84 @@
+"""CI gate for the disabled-tracing overhead budget (ISSUE 9).
+
+Reads ``benchmarks/results/BENCH_obs_overhead.json`` (written by
+running ``benchmarks/test_obs_overhead.py``) and fails when the
+measured upper bound on instrumentation overhead — span calls times
+disabled-path per-call cost, over the untraced workload wall time —
+reaches the 2% budget, or when the census shows the instrumentation
+was effectively absent (zero spans: the bound would be vacuous).
+
+Exit codes: 0 ok, 1 over budget, 2 missing/malformed report.  The
+gate imports nothing from the package so it runs without an install.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPORT = (
+    Path(__file__).parent / "results" / "BENCH_obs_overhead.json"
+)
+
+#: Mirrors benchmarks/test_obs_overhead.MAX_OVERHEAD (not imported:
+#: the gate must run without the package importable).
+MAX_OVERHEAD = 0.02
+
+
+def main() -> int:
+    if not REPORT.exists():
+        print(
+            f"missing report {REPORT}; run "
+            f"benchmarks/test_obs_overhead.py first"
+        )
+        return 2
+    try:
+        doc = json.loads(REPORT.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"malformed report {REPORT}: {exc}")
+        return 2
+    if not isinstance(doc, dict):
+        print(
+            f"malformed report {REPORT}: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+        return 2
+
+    overhead = doc.get("overhead_fraction")
+    span_calls = doc.get("span_calls")
+    per_call_ns = doc.get("per_call_ns")
+    wall = doc.get("workload_wall_seconds")
+    for field, value in (
+        ("overhead_fraction", overhead),
+        ("span_calls", span_calls),
+        ("per_call_ns", per_call_ns),
+        ("workload_wall_seconds", wall),
+    ):
+        if not isinstance(value, (int, float)):
+            print(f"malformed report: {field} missing or non-numeric")
+            return 2
+
+    print(
+        f"disabled-tracing overhead bound: {overhead:.4%} "
+        f"(budget {MAX_OVERHEAD:.0%}) — {span_calls} spans x "
+        f"{per_call_ns:.0f}ns over {wall:.2f}s untraced"
+    )
+    failed = False
+    if span_calls <= 0:
+        print("FAIL: traced census saw zero spans — bound is vacuous")
+        failed = True
+    if overhead >= MAX_OVERHEAD:
+        print(
+            f"FAIL: overhead bound {overhead:.4%} >= "
+            f"{MAX_OVERHEAD:.0%} budget"
+        )
+        failed = True
+    if failed:
+        return 1
+    print("obs overhead ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

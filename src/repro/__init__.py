@@ -1,0 +1,5 @@
+"""repro — reproduction of vertical-M1 routing-aware detailed placement."""
+
+from repro.log import install_null_handler
+
+install_null_handler()

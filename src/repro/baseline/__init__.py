@@ -13,3 +13,7 @@ while the windowed MILP improves both.
 from repro.baseline.row_dp import RowDpResult, row_dp_refine
 
 __all__ = ["RowDpResult", "row_dp_refine"]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.baseline")

@@ -92,3 +92,7 @@ __all__ = [
     "load_reproducer",
     "save_reproducer",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.check")

@@ -167,7 +167,19 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         shards=args.shards,
         halo_rows=args.halo_rows,
     )
-    result = run_flow(config)
+    if args.trace:
+        from repro.obs.trace import disable, enable
+
+        enable(
+            args.trace,
+            profile_spans=tuple(args.trace_profile or ()),
+        )
+    try:
+        result = run_flow(config)
+    finally:
+        if args.trace:
+            disable()
+            print(f"trace -> {args.trace}", file=sys.stderr)
     if result.shard is not None:
         summary = result.shard.summary()
         print(
@@ -234,6 +246,8 @@ def _spec_from_args(args: argparse.Namespace) -> dict:
         spec["window_cache"] = False
     if args.no_dirty_tracking:
         spec["dirty_tracking"] = False
+    if args.trace:
+        spec["trace"] = True
     return spec
 
 
@@ -291,6 +305,26 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_trace, write_report
+
+    if args.action == "report":
+        out = write_report(
+            args.path,
+            out_path=args.out or None,
+            title=args.title or None,
+        )
+        print(f"report -> {out}")
+        return 0
+    # summary: derive a telemetry document from the recorded spans.
+    from repro.runtime.telemetry import RunTelemetry
+
+    spans = read_trace(args.path)
+    doc = RunTelemetry.from_spans(spans).summary()
+    print(json.dumps(doc, indent=1))
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -448,9 +482,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default="",
         help="write runtime telemetry JSON to this path",
     )
+    flow.add_argument(
+        "--trace", default="", metavar="PATH",
+        help="write a hierarchical span trace (repro.obs.trace/v1 "
+        "NDJSON) to this path; render it with 'repro trace report'",
+    )
+    flow.add_argument(
+        "--trace-profile", action="append", metavar="SPAN",
+        help="attach the sampling profiler to spans with this name "
+        "(repeatable; e.g. 'solve'); requires --trace",
+    )
     flow.add_argument("--json", action="store_true")
     flow.add_argument("--out", default="", help="artifact directory")
     flow.set_defaults(func=_cmd_flow)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a recorded span trace (repro.obs.trace/v1)",
+    )
+    trace.add_argument(
+        "action", choices=("report", "summary"),
+        help="'report' renders a self-contained HTML timeline; "
+        "'summary' prints a telemetry document derived from the spans",
+    )
+    trace.add_argument("path", help="trace NDJSON file")
+    trace.add_argument(
+        "--out", default="",
+        help="HTML output path (default: trace path with .html)",
+    )
+    trace.add_argument("--title", default="", help="report title")
+    trace.set_defaults(func=_cmd_trace)
 
     expt = sub.add_parser(
         "experiment", help="run one paper experiment"
@@ -526,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--halo-rows", type=_nonnegative_int, default=2,
         help="frozen ghost rows around each shard's core band",
+    )
+    submit.add_argument(
+        "--trace", action="store_true",
+        help="ask the service to record a span trace for this job "
+        "(written to the job directory as trace.ndjson)",
     )
     submit.add_argument(
         "--wait", action="store_true",

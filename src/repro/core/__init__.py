@@ -49,3 +49,7 @@ __all__ = [
     "VM1OptResult",
     "vm1_opt",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.core")

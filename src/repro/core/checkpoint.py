@@ -52,6 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard
 CHECKPOINT_SCHEMA = "repro.core.checkpoint/v1"
 
 
+def _trace_from_doc(value) -> tuple[str, str | None] | None:
+    if not value:
+        return None
+    trace_id, span_id = value
+    return (str(trace_id), None if span_id is None else str(span_id))
+
+
 @dataclass
 class VM1Checkpoint:
     """State after one completed DistOpt pass of a VM1Opt run."""
@@ -71,6 +78,11 @@ class VM1Checkpoint:
     cache_entries: list = field(default_factory=list)
     #: serialized DirtyTracker state (see dirty module); [] = none.
     dirty_state: list = field(default_factory=list)
+    #: ``(trace_id, root_span_id)`` of the run that wrote this
+    #: checkpoint, when it was traced; a resumed run seeds its tracer
+    #: from it so both attempts append to one coherent trace.  ``None``
+    #: (and absent from older documents) = untraced.
+    trace: tuple[str, str | None] | None = None
     schema: str = CHECKPOINT_SCHEMA
 
     # ------------------------------------------------------- capture
@@ -90,6 +102,7 @@ class VM1Checkpoint:
         objective: float,
         initial_objective: float,
         iterations: int,
+        trace: tuple[str, str | None] | None = None,
     ) -> "VM1Checkpoint":
         """Snapshot the design placement + cache into a checkpoint."""
         placement = {
@@ -113,6 +126,7 @@ class VM1Checkpoint:
             dirty_state=(
                 dirty.export_state() if dirty is not None else []
             ),
+            trace=trace,
         )
 
     # ------------------------------------------------------- restore
@@ -151,6 +165,9 @@ class VM1Checkpoint:
             },
             "cache": self.cache_entries,
             "dirty": self.dirty_state,
+            "trace": (
+                list(self.trace) if self.trace is not None else None
+            ),
         }
 
     @classmethod
@@ -177,6 +194,7 @@ class VM1Checkpoint:
             },
             cache_entries=list(doc.get("cache", [])),
             dirty_state=list(doc.get("dirty", [])),
+            trace=_trace_from_doc(doc.get("trace")),
         )
 
     def dumps(self) -> str:

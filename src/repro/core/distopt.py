@@ -51,6 +51,8 @@ from repro.core.window import independent_families, partition
 from repro.milp.highs_backend import HighsBackend
 from repro.milp.solution import SolveStatus
 from repro.netlist.design import Design
+from repro.obs.trace import active as active_tracer
+from repro.obs.trace import current_context, span
 from repro.runtime import (
     FamilyScheduler,
     RunTelemetry,
@@ -196,36 +198,57 @@ def dist_opt(
     families = independent_families(windows)
     result.family_count = len(families)
 
-    try:
-        next_task_id = 0
-        for family_index, family in enumerate(families):
-            next_task_id = _run_family(
-                design, params, family, family_index,
-                spec=spec, scheduler=scheduler, result=result,
-                telemetry=telemetry, pass_label=pass_label,
-                lx=lx, ly=ly, allow_flip=allow_flip,
-                next_task_id=next_task_id,
-                presolve=presolve, cache=cache, dirty=dirty,
-            )
-    finally:
-        if owns_executor:
-            executor.close()
-
-    if objective is None:
-        result.objective = calculate_objective(design, params)
-    else:
-        result.objective = objective + result.objective_delta
-        if audit:
-            full = calculate_objective(design, params)
-            result.objective_drift = abs(result.objective - full)
-            if result.objective_drift >= DRIFT_TOLERANCE:
-                raise AssertionError(
-                    f"pass {pass_label}: delta-accounted objective "
-                    f"{result.objective!r} drifted "
-                    f"{result.objective_drift:.3e} from full "
-                    f"recompute {full!r} "
-                    f"(tolerance {DRIFT_TOLERANCE:g})"
+    with span(
+        "distopt",
+        pass_label=pass_label,
+        windows=len(windows),
+        families=len(families),
+        executor=executor.name,
+        jobs=executor.jobs,
+    ) as pass_span:
+        # The context every task of this pass ships to its worker;
+        # worker-synthesized window spans parent under this pass span
+        # (None when tracing is off — workers then skip synthesis).
+        trace_ctx = current_context()
+        try:
+            next_task_id = 0
+            for family_index, family in enumerate(families):
+                next_task_id = _run_family(
+                    design, params, family, family_index,
+                    spec=spec, scheduler=scheduler, result=result,
+                    telemetry=telemetry, pass_label=pass_label,
+                    lx=lx, ly=ly, allow_flip=allow_flip,
+                    next_task_id=next_task_id,
+                    presolve=presolve, cache=cache, dirty=dirty,
+                    trace_ctx=trace_ctx,
                 )
+        finally:
+            if owns_executor:
+                executor.close()
+
+        if objective is None:
+            result.objective = calculate_objective(design, params)
+        else:
+            result.objective = objective + result.objective_delta
+            if audit:
+                full = calculate_objective(design, params)
+                result.objective_drift = abs(result.objective - full)
+                if result.objective_drift >= DRIFT_TOLERANCE:
+                    raise AssertionError(
+                        f"pass {pass_label}: delta-accounted objective "
+                        f"{result.objective!r} drifted "
+                        f"{result.objective_drift:.3e} from full "
+                        f"recompute {full!r} "
+                        f"(tolerance {DRIFT_TOLERANCE:g})"
+                    )
+        pass_span.set(
+            objective=result.objective,
+            windows_built=result.windows_built,
+            windows_applied=result.windows_applied,
+            windows_cached=result.windows_cached,
+            windows_skipped_clean=result.windows_skipped_clean,
+            moved_cells=result.moved_cells,
+        )
     result.wall_seconds = time.perf_counter() - started
     if telemetry is not None:
         telemetry.record_pass(
@@ -281,6 +304,7 @@ def _run_family(
     presolve: bool,
     cache,
     dirty: DirtyTracker | None,
+    trace_ctx: tuple[str, str | None] | None = None,
 ) -> int:
     """Slice, dispatch (worker-side build+solve), and apply one
     independent family; returns the next free task id."""
@@ -356,6 +380,7 @@ def _run_family(
             ly=ly,
             allow_flip=allow_flip,
             presolve=presolve,
+            trace=trace_ctx,
         )
         next_task_id += 1
         tasks.append(task)
@@ -376,6 +401,7 @@ def _run_family(
     family_cell_rects: list = []
     family_nets: list[str] = []
     family_net_rects: list = []
+    tracer = active_tracer() if trace_ctx is not None else None
     for task in tasks:  # canonical order — determinism contract
         outcome = outcomes[task.task_id]
         slowest_path = max(
@@ -395,6 +421,7 @@ def _run_family(
             # The worker-side build found nothing optimizable —
             # silently dropped, like the parent-side build returning
             # None used to be.
+            _absorb_spans(tracer, outcome, "empty")
             continue
         if outcome.built:
             result.windows_built += 1
@@ -402,6 +429,7 @@ def _run_family(
         status, moved, delta, write = _apply_outcome(
             design, params, outcome, result
         )
+        _absorb_spans(tracer, outcome, status)
         result.moved_cells += moved
         if status == "applied":
             result.objective_delta += delta
@@ -456,6 +484,18 @@ def _run_family(
             net_rects=family_net_rects,
         )
     return next_task_id
+
+
+def _absorb_spans(tracer, outcome: WindowTaskResult, status: str) -> None:
+    """Fold a worker's synthesized spans into the pass tracer, stamping
+    the apply verdict (only the submitting side knows it) onto the
+    window root span.  Runs in canonical task order, so the trace file
+    is deterministic under any executor."""
+    if tracer is None or not outcome.spans:
+        return
+    root = outcome.spans[0]
+    root.setdefault("attrs", {})["outcome"] = status
+    tracer.absorb(outcome.spans)
 
 
 def _apply_outcome(

@@ -20,6 +20,7 @@ from repro.core.params import OptParams
 from repro.core.windowcache import WindowSolveCache
 from repro.milp.highs_backend import HighsBackend
 from repro.netlist.design import Design
+from repro.obs.trace import current_context, span
 from repro.runtime import RunTelemetry, ScheduleConfig, SerialExecutor
 
 #: Hard cap on inner iterations per parameter set (safety net; the
@@ -160,6 +161,10 @@ def vm1_opt(
     if resume is not None:
         result.iterations = resume.iterations
 
+    # Assigned inside the run span below; rides every checkpoint so a
+    # resumed run can re-join this trace (closure sees the late value).
+    trace_ctx: tuple[str, str | None] | None = None
+
     def _checkpoint(
         u_index: int, iteration: int, phase: str, pre: float
     ) -> None:
@@ -179,108 +184,124 @@ def vm1_opt(
                 objective=objective,
                 initial_objective=initial,
                 iterations=result.iterations,
+                trace=trace_ctx,
             )
         )
 
-    try:
-        for u_index, u in enumerate(params.sequence):
-            if u_index < resume_u:
-                continue
-            bw = max(tech.site_width, tech.dbu(u.bw_um))
-            bh = max(tech.row_height, tech.dbu(u.bh_um))
-            for iteration in range(_MAX_INNER_ITERATIONS):
-                if u_index == resume_u and iteration < resume_iter:
+    run_span = span(
+        "vm1_opt",
+        sequence_len=len(params.sequence),
+        executor=executor.name,
+        jobs=executor.jobs,
+        resumed=resume is not None,
+    )
+    with run_span as run_span_obj:
+        trace_ctx = current_context()
+        try:
+            for u_index, u in enumerate(params.sequence):
+                if u_index < resume_u:
                     continue
-                # At the exact resume point, skip the pass(es) the
-                # checkpoint already covers; the end-of-iteration
-                # control flow below re-runs on checkpointed values.
-                at_resume = (
-                    u_index == resume_u and iteration == resume_iter
-                )
-                skip_move = at_resume and resume_phase in (
-                    "move",
-                    "flip",
-                )
-                skip_flip = at_resume and resume_phase == "flip"
-                pre = (
-                    resume.pre_objective if skip_move else objective
-                )
-                label = f"u{u_index}.i{iteration}"
-                if not skip_move:
-                    move_pass = dist_opt(
-                        design,
-                        params,
-                        tx=tx,
-                        ty=ty,
-                        bw=bw,
-                        bh=bh,
-                        lx=u.lx,
-                        ly=u.ly,
-                        allow_flip=False,
-                        solver=solver,
-                        executor=executor,
-                        schedule=schedule,
-                        telemetry=telemetry,
-                        pass_label=f"move[{label}]",
-                        presolve=presolve,
-                        cache=cache,
-                        dirty=dirty,
-                        objective=(
-                            objective if dirty_tracking else None
-                        ),
-                        audit=objective_audit,
+                bw = max(tech.site_width, tech.dbu(u.bw_um))
+                bh = max(tech.row_height, tech.dbu(u.bh_um))
+                for iteration in range(_MAX_INNER_ITERATIONS):
+                    if u_index == resume_u and iteration < resume_iter:
+                        continue
+                    # At the exact resume point, skip the pass(es) the
+                    # checkpoint already covers; the end-of-iteration
+                    # control flow below re-runs on checkpointed values.
+                    at_resume = (
+                        u_index == resume_u and iteration == resume_iter
                     )
-                    _absorb(result, move_pass)
-                    objective = move_pass.objective
-                    _checkpoint(u_index, iteration, "move", pre)
-                    if progress is not None:
-                        progress("move", move_pass)
-                if enable_flip and not skip_flip:
-                    flip_pass = dist_opt(
-                        design,
-                        params,
-                        tx=tx,
-                        ty=ty,
-                        bw=bw,
-                        bh=bh,
-                        lx=0,
-                        ly=0,
-                        allow_flip=True,
-                        solver=solver,
-                        executor=executor,
-                        schedule=schedule,
-                        telemetry=telemetry,
-                        pass_label=f"flip[{label}]",
-                        presolve=presolve,
-                        cache=cache,
-                        dirty=dirty,
-                        objective=(
-                            objective if dirty_tracking else None
-                        ),
-                        audit=objective_audit,
+                    skip_move = at_resume and resume_phase in (
+                        "move",
+                        "flip",
                     )
-                    _absorb(result, flip_pass)
-                    objective = flip_pass.objective
-                    _checkpoint(u_index, iteration, "flip", pre)
-                    if progress is not None:
-                        progress("flip", flip_pass)
-                result.iterations += 1
-                if enable_shift:
-                    # Shift the window grid so last iteration's
-                    # boundary cells fall inside a window next time
-                    # (Algorithm 1 line 9).
-                    tx = (tx + bw // 2) % bw
-                    ty = (ty + bh // 2) % bh
-                if pre == 0:
-                    break
-                delta = (pre - objective) / abs(pre)
-                if delta < params.theta:
-                    break
-    finally:
-        if owns_executor:
-            executor.close()
+                    skip_flip = at_resume and resume_phase == "flip"
+                    pre = (
+                        resume.pre_objective if skip_move else objective
+                    )
+                    label = f"u{u_index}.i{iteration}"
+                    if not skip_move:
+                        move_pass = dist_opt(
+                            design,
+                            params,
+                            tx=tx,
+                            ty=ty,
+                            bw=bw,
+                            bh=bh,
+                            lx=u.lx,
+                            ly=u.ly,
+                            allow_flip=False,
+                            solver=solver,
+                            executor=executor,
+                            schedule=schedule,
+                            telemetry=telemetry,
+                            pass_label=f"move[{label}]",
+                            presolve=presolve,
+                            cache=cache,
+                            dirty=dirty,
+                            objective=(
+                                objective if dirty_tracking else None
+                            ),
+                            audit=objective_audit,
+                        )
+                        _absorb(result, move_pass)
+                        objective = move_pass.objective
+                        _checkpoint(u_index, iteration, "move", pre)
+                        if progress is not None:
+                            progress("move", move_pass)
+                    if enable_flip and not skip_flip:
+                        flip_pass = dist_opt(
+                            design,
+                            params,
+                            tx=tx,
+                            ty=ty,
+                            bw=bw,
+                            bh=bh,
+                            lx=0,
+                            ly=0,
+                            allow_flip=True,
+                            solver=solver,
+                            executor=executor,
+                            schedule=schedule,
+                            telemetry=telemetry,
+                            pass_label=f"flip[{label}]",
+                            presolve=presolve,
+                            cache=cache,
+                            dirty=dirty,
+                            objective=(
+                                objective if dirty_tracking else None
+                            ),
+                            audit=objective_audit,
+                        )
+                        _absorb(result, flip_pass)
+                        objective = flip_pass.objective
+                        _checkpoint(u_index, iteration, "flip", pre)
+                        if progress is not None:
+                            progress("flip", flip_pass)
+                    result.iterations += 1
+                    if enable_shift:
+                        # Shift the window grid so last iteration's
+                        # boundary cells fall inside a window next time
+                        # (Algorithm 1 line 9).
+                        tx = (tx + bw // 2) % bw
+                        ty = (ty + bh // 2) % bh
+                    if pre == 0:
+                        break
+                    delta = (pre - objective) / abs(pre)
+                    if delta < params.theta:
+                        break
+        finally:
+            if owns_executor:
+                executor.close()
 
-    result.final_objective = objective
+        result.final_objective = objective
+        run_span_obj.set(
+            initial_objective=initial,
+            final_objective=objective,
+            iterations=result.iterations,
+            moved_cells=result.moved_cells,
+        )
     result.wall_seconds = time.perf_counter() - started
     if telemetry is not None:
         telemetry.wall_seconds = result.wall_seconds

@@ -34,3 +34,7 @@ __all__ = [
     "expt_b_fig8_drv_sweep",
     "render_markdown_table",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.eval")

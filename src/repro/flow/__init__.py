@@ -8,3 +8,7 @@ every stage provided by this repository's substrates.
 from repro.flow.flow import FlowConfig, FlowResult, run_flow, table2_row
 
 __all__ = ["FlowConfig", "FlowResult", "run_flow", "table2_row"]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.flow")

@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 
 from repro.core.params import OptParams, ParamSet
 from repro.core.vm1opt import VM1OptResult, vm1_opt
+from repro.obs.trace import active as active_tracer
+from repro.obs.trace import span
 from repro.runtime import RunTelemetry, make_executor
 from repro.library import Library, build_library
 from repro.netlist import Design, generate_design
@@ -170,113 +172,145 @@ def run_flow(
     and fills ``FlowResult.shard``.
     """
     started = time.perf_counter()
-    tech = make_tech(config.arch)
-    library = build_library(tech)
-    design = generate_design(
-        config.profile,
-        tech,
-        library,
+    with span(
+        "flow",
+        profile=str(config.profile),
+        arch=config.arch.value,
         scale=config.scale,
-        utilization=config.utilization,
         seed=config.seed,
-    )
-    if progress is not None:
-        progress(
-            "generate",
-            {
-                "design": design.name,
-                "instances": len(design.instances),
-                "nets": len(design.nets),
-            },
-        )
-    t_place = time.perf_counter()
-    place_design(design, seed=config.seed)
-    place_seconds = time.perf_counter() - t_place
-    if progress is not None:
-        progress("place", {"seconds": place_seconds})
-
-    router = DetailedRouter(design, config.router)
-    init_route = router.route()
-    init_timing = analyze_timing(design, init_route.net_lengths)
-    init_power = estimate_power(design, init_route.net_lengths)
-    if progress is not None:
-        progress(
-            "route_init",
-            {
-                "num_drvs": init_route.num_drvs,
-                "hpwl": init_route.hpwl,
-                "num_dm1": init_route.num_dm1,
-            },
-        )
-
-    result = FlowResult(
-        config=config,
-        design=design,
-        library=library,
-        init_route=init_route,
-        init_timing=init_timing,
-        init_power=init_power,
-        place_seconds=place_seconds,
-    )
-    if config.optimize:
-        params = config.resolved_params(tech)
-        if config.timing_driven and config.params is None:
-            from dataclasses import replace
-
-            from repro.timing.criticality import criticality_weights
-
-            params = replace(
-                params,
-                net_beta=criticality_weights(design, init_timing),
+        executor=config.executor,
+        jobs=config.jobs,
+        resumed=resume is not None or shard_resume,
+    ) as flow_span:
+        with span("generate") as stage:
+            tech = make_tech(config.arch)
+            library = build_library(tech)
+            design = generate_design(
+                config.profile,
+                tech,
+                library,
+                scale=config.scale,
+                utilization=config.utilization,
+                seed=config.seed,
             )
-        num_shards = resolve_shard_count(
-            design, config.shards, config.jobs, config.halo_rows
-        )
-        if num_shards >= 2:
-            result.shard = run_sharded(
-                design,
-                params,
-                shards=num_shards,
-                halo_rows=config.halo_rows,
-                jobs=config.jobs,
-                executor=config.executor,
-                presolve=config.presolve,
-                window_cache=config.window_cache,
-                dirty_tracking=config.dirty_tracking,
-                checkpoint_dir=shard_checkpoint_dir,
-                resume=shard_resume,
-                progress=progress,
+            stage.set(
+                instances=len(design.instances),
+                nets=len(design.nets),
             )
-            result.opt = result.shard.to_vm1_result()
-        else:
-            result.opt = _run_unsharded(
-                config,
-                design,
-                params,
-                result,
-                progress=progress,
-                checkpoint_sink=checkpoint_sink,
-                resume=resume,
-            )
-        final_router = DetailedRouter(design, config.router)
-        result.final_route = final_router.route()
-        result.final_timing = analyze_timing(
-            design,
-            result.final_route.net_lengths,
-            clock_period_ps=init_timing.clock_period_ps,
-        )
-        result.final_power = estimate_power(
-            design, result.final_route.net_lengths
-        )
         if progress is not None:
             progress(
-                "route_final",
+                "generate",
                 {
-                    "num_drvs": result.final_route.num_drvs,
-                    "hpwl": result.final_route.hpwl,
-                    "num_dm1": result.final_route.num_dm1,
+                    "design": design.name,
+                    "instances": len(design.instances),
+                    "nets": len(design.nets),
                 },
             )
+        t_place = time.perf_counter()
+        with span("place"):
+            place_design(design, seed=config.seed)
+        place_seconds = time.perf_counter() - t_place
+        if progress is not None:
+            progress("place", {"seconds": place_seconds})
+
+        with span("route_init") as stage:
+            router = DetailedRouter(design, config.router)
+            init_route = router.route()
+            init_timing = analyze_timing(
+                design, init_route.net_lengths
+            )
+            init_power = estimate_power(
+                design, init_route.net_lengths
+            )
+            stage.set(
+                num_drvs=init_route.num_drvs,
+                num_dm1=init_route.num_dm1,
+            )
+        if progress is not None:
+            progress(
+                "route_init",
+                {
+                    "num_drvs": init_route.num_drvs,
+                    "hpwl": init_route.hpwl,
+                    "num_dm1": init_route.num_dm1,
+                },
+            )
+
+        result = FlowResult(
+            config=config,
+            design=design,
+            library=library,
+            init_route=init_route,
+            init_timing=init_timing,
+            init_power=init_power,
+            place_seconds=place_seconds,
+        )
+        if config.optimize:
+            params = config.resolved_params(tech)
+            if config.timing_driven and config.params is None:
+                from dataclasses import replace
+
+                from repro.timing.criticality import criticality_weights
+
+                params = replace(
+                    params,
+                    net_beta=criticality_weights(design, init_timing),
+                )
+            num_shards = resolve_shard_count(
+                design, config.shards, config.jobs, config.halo_rows
+            )
+            with span("opt", shards=num_shards):
+                if num_shards >= 2:
+                    result.shard = run_sharded(
+                        design,
+                        params,
+                        shards=num_shards,
+                        halo_rows=config.halo_rows,
+                        jobs=config.jobs,
+                        executor=config.executor,
+                        presolve=config.presolve,
+                        window_cache=config.window_cache,
+                        dirty_tracking=config.dirty_tracking,
+                        checkpoint_dir=shard_checkpoint_dir,
+                        resume=shard_resume,
+                        progress=progress,
+                    )
+                    result.opt = result.shard.to_vm1_result()
+                else:
+                    result.opt = _run_unsharded(
+                        config,
+                        design,
+                        params,
+                        result,
+                        progress=progress,
+                        checkpoint_sink=checkpoint_sink,
+                        resume=resume,
+                    )
+            with span("route_final") as stage:
+                final_router = DetailedRouter(design, config.router)
+                result.final_route = final_router.route()
+                result.final_timing = analyze_timing(
+                    design,
+                    result.final_route.net_lengths,
+                    clock_period_ps=init_timing.clock_period_ps,
+                )
+                result.final_power = estimate_power(
+                    design, result.final_route.net_lengths
+                )
+                stage.set(
+                    num_drvs=result.final_route.num_drvs,
+                    num_dm1=result.final_route.num_dm1,
+                )
+            if progress is not None:
+                progress(
+                    "route_final",
+                    {
+                        "num_drvs": result.final_route.num_drvs,
+                        "hpwl": result.final_route.hpwl,
+                        "num_dm1": result.final_route.num_dm1,
+                    },
+                )
+        flow_span.set(instances=len(design.instances))
     result.total_seconds = time.perf_counter() - started
     return result
 
@@ -301,6 +335,9 @@ def _run_unsharded(
         telemetry = RunTelemetry(
             executor=executor.name, jobs=executor.jobs
         )
+        tracer = active_tracer()
+        if tracer is not None:
+            telemetry.trace_id = tracer.trace_id
         vm1_progress = None
         if progress is not None:
 

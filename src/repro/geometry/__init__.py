@@ -16,3 +16,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
 __all__ = ["Point", "Interval", "Rect", "Orientation"]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.geometry")

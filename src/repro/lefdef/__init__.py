@@ -34,3 +34,7 @@ __all__ = [
     "parse_def",
     "write_def",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.lefdef")

@@ -26,3 +26,7 @@ __all__ = [
     "DEFAULT_CELL_SPECS",
     "VtClass",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.library")

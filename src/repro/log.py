@@ -1,0 +1,48 @@
+"""Logger hygiene for the ``repro`` package tree.
+
+Library code must never print to stderr just because the application
+didn't configure logging: without a handler anywhere on the chain,
+Python's ``lastResort`` handler dumps WARNING+ records to stderr.  The
+fix is the standard library idiom — a ``NullHandler`` on the package
+root logger (installed once in :mod:`repro.__init__`), which
+terminates the lastResort fallback while leaving propagation to any
+real application-configured handlers untouched.
+
+Every subsystem obtains its logger through :func:`subsystem_logger`,
+which enforces the ``repro.<pkg>`` naming so application configs can
+target subsystems individually (``logging.getLogger("repro.shard")
+.setLevel(...)``).
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def install_null_handler() -> logging.Logger:
+    """Attach a ``NullHandler`` to the ``repro`` root logger (idempotent).
+
+    Called from ``repro/__init__.py`` so a bare ``import repro`` plus
+    library warnings never writes to stderr.
+    """
+    root = logging.getLogger("repro")
+    if not any(
+        type(h) is logging.NullHandler for h in root.handlers
+    ):
+        root.addHandler(logging.NullHandler())
+    return root
+
+
+def subsystem_logger(name: str) -> logging.Logger:
+    """The child logger for one subsystem, e.g.
+    ``subsystem_logger("repro.shard")``.
+
+    Requires a ``repro``-rooted dotted name so every subsystem hangs
+    under the null-handled package root.
+    """
+    if name != "repro" and not name.startswith("repro."):
+        raise ValueError(
+            f"subsystem logger name must start with 'repro.': {name!r}"
+        )
+    install_null_handler()
+    return logging.getLogger(name)

@@ -39,3 +39,7 @@ __all__ = [
     "HighsBackend",
     "BranchBoundBackend",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.milp")

@@ -27,3 +27,7 @@ __all__ = [
     "DesignProfile",
     "generate_design",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.netlist")

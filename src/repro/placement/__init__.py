@@ -19,3 +19,7 @@ from repro.placement.legalize import legalize
 from repro.placement.api import place_design
 
 __all__ = ["global_place", "legalize", "place_design"]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.placement")

@@ -26,3 +26,7 @@ from repro.routing.metrics import RouteMetrics
 from repro.routing.router import DetailedRouter, RouterConfig
 
 __all__ = ["RouteMetrics", "DetailedRouter", "RouterConfig"]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.routing")

@@ -56,3 +56,7 @@ __all__ = [
     "modeled_parallel_seconds",
     "TELEMETRY_SCHEMA",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.runtime")

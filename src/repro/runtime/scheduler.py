@@ -17,7 +17,6 @@ pass):
 
 from __future__ import annotations
 
-import logging
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -26,7 +25,9 @@ from dataclasses import dataclass
 from repro.runtime.executors import Executor
 from repro.runtime.task import WindowTask, WindowTaskResult
 
-logger = logging.getLogger("repro.runtime")
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.runtime")
 
 
 @dataclass(frozen=True)

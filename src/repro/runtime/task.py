@@ -125,6 +125,10 @@ class WindowTaskResult:
     #: slice mode: a solution came back but could not be decoded into
     #: moves (corrupt λ selection).  Deterministic — never retried.
     apply_error: str = ""
+    #: finished span dicts synthesized in the worker when the task
+    #: carried a trace context; the submitting side absorbs them in
+    #: canonical task order (see :mod:`repro.obs.trace`).
+    spans: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -164,6 +168,12 @@ class WindowTask:
         presolve: run :func:`repro.milp.presolve.presolve` on the
             model inside the worker (and lift the solution back), so
             the reduction cost parallelizes with the solves.
+        trace: ``(trace_id, parent_span_id)`` shipped by the
+            submitting pass when tracing is on; the worker then
+            synthesizes window/build/presolve/solve span dicts from
+            the timings it already measures and returns them in
+            ``WindowTaskResult.spans``.  ``None`` (tracing off) adds
+            zero work to the hot path.
     """
 
     task_id: int
@@ -182,6 +192,7 @@ class WindowTask:
     num_movable: int = 0
     num_pairs: int = 0
     presolve: bool = True
+    trace: tuple[str, str | None] | None = None
 
     @classmethod
     def from_problem(
@@ -192,6 +203,7 @@ class WindowTask:
         family: int,
         solver: SolverSpec,
         presolve: bool = True,
+        trace: tuple[str, str | None] | None = None,
     ) -> "WindowTask":
         """Model-mode task from an already-built window problem."""
         return cls(
@@ -205,6 +217,7 @@ class WindowTask:
             num_movable=len(problem.movable),
             num_pairs=problem.num_pairs,
             presolve=presolve,
+            trace=trace,
         )
 
     @classmethod
@@ -221,6 +234,7 @@ class WindowTask:
         ly: int,
         allow_flip: bool,
         presolve: bool = True,
+        trace: tuple[str, str | None] | None = None,
     ) -> "WindowTask":
         """Slice-mode task: the worker builds, presolves, and solves."""
         return cls(
@@ -236,9 +250,100 @@ class WindowTask:
             ly=ly,
             allow_flip=allow_flip,
             presolve=presolve,
+            trace=trace,
         )
 
     def run(self) -> WindowTaskResult:
+        """Execute the task; when a trace context rides along, attach
+        synthesized span dicts to the result (see :meth:`_make_spans`)."""
+        if self.trace is None:
+            return self._run()
+        started_at = time.time()
+        c0 = time.thread_time()
+        result = self._run()
+        result.spans = self._make_spans(
+            result, started_at, time.thread_time() - c0
+        )
+        return result
+
+    def _make_spans(
+        self,
+        result: WindowTaskResult,
+        started_at: float,
+        cpu_seconds: float,
+    ) -> tuple[dict, ...]:
+        """Synthesize the window span tree from measured timings.
+
+        Live span bookkeeping is deliberately kept out of the solve
+        loop; the worker already times build/presolve/solve, so span
+        records are minted after the fact — free when tracing is off,
+        near-free when on.  Child-span inclusion depends only on task
+        content and outcome (never on the executor), which keeps the
+        tree shape identical across serial/thread/process runs.
+        """
+        from repro.obs.trace import make_span_dict, new_id
+
+        trace_id, parent_id = self.trace
+        window_id = new_id()
+        status = "ok"
+        if result.error:
+            status = "error:solve"
+        elif result.apply_error:
+            status = "error:apply"
+        window_span = make_span_dict(
+            "window",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            started_at=started_at,
+            wall_seconds=time.time() - started_at,
+            cpu_seconds=cpu_seconds,
+            span_id=window_id,
+            attrs={
+                "task_id": self.task_id,
+                "ix": self.ix,
+                "iy": self.iy,
+                "family": self.family,
+            },
+        )
+        window_span["status"] = status
+        spans = [window_span]
+        cursor = started_at
+        if self.model is None:
+            spans.append(
+                make_span_dict(
+                    "build",
+                    trace_id=trace_id,
+                    parent_id=window_id,
+                    started_at=cursor,
+                    wall_seconds=result.build_seconds,
+                )
+            )
+            cursor += result.build_seconds
+        if result.built and self.presolve:
+            spans.append(
+                make_span_dict(
+                    "presolve",
+                    trace_id=trace_id,
+                    parent_id=window_id,
+                    started_at=cursor,
+                    wall_seconds=result.presolve_seconds,
+                )
+            )
+            cursor += result.presolve_seconds
+        if result.built:
+            spans.append(
+                make_span_dict(
+                    "solve",
+                    trace_id=trace_id,
+                    parent_id=window_id,
+                    started_at=cursor,
+                    wall_seconds=result.solve_seconds,
+                    attrs={"num_pairs": result.num_pairs},
+                )
+            )
+        return tuple(spans)
+
+    def _run(self) -> WindowTaskResult:
         """Execute one build+solve attempt; never raises.
 
         Runs inside the worker (process, thread, or inline for the

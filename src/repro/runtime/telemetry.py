@@ -15,11 +15,13 @@ INFO line per pass so a long run can be watched live with
 from __future__ import annotations
 
 import json
-import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-logger = logging.getLogger("repro.runtime")
+from repro.log import subsystem_logger
+from repro.obs.metrics import MetricsRegistry
+
+logger = subsystem_logger("repro.runtime")
 
 #: JSON schema identifier written into every telemetry document.
 #: v2 added the presolve share of each window's time split, the
@@ -31,7 +33,19 @@ logger = logging.getLogger("repro.runtime")
 #: built inside the executor workers, so each record's build time is
 #: measured in the worker and ``modeled_parallel_seconds`` charges
 #: the full per-window build+presolve+solve path.
-TELEMETRY_SCHEMA = "repro.runtime.telemetry/v3"
+#: v4 adds the observability spine (see DESIGN.md §12): a ``counters``
+#: section rendered from the run's :class:`repro.obs.MetricsRegistry`
+#: and a ``trace`` section linking the document to its span trace;
+#: :func:`load_telemetry` still reads v3 documents, and
+#: :meth:`RunTelemetry.from_spans` derives a telemetry document
+#: directly from a recorded span tree.
+TELEMETRY_SCHEMA = "repro.runtime.telemetry/v4"
+#: Older schemas :func:`load_telemetry` accepts (normalizing to v4
+#: shape: empty ``counters``, null ``trace``).
+READABLE_SCHEMAS = (
+    "repro.runtime.telemetry/v3",
+    TELEMETRY_SCHEMA,
+)
 
 
 @dataclass
@@ -85,9 +99,26 @@ class RunTelemetry:
     records: list[WindowRecord] = field(default_factory=list)
     passes: list[dict] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: trace id of the span trace covering this run, when traced.
+    trace_id: str | None = None
+    #: per-run metrics registry; every record also bumps it, and
+    #: ``summary()`` renders it as the v4 ``counters`` section.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def _metric_windows(self):
+        return self.registry.counter(
+            "repro_run_windows_total",
+            "Windows processed by the engine, by outcome status.",
+            ("status",),
+        )
 
     def record_window(self, record: WindowRecord) -> None:
         self.records.append(record)
+        self._metric_windows().inc(status=record.status)
+        self.registry.histogram(
+            "repro_run_window_solve_seconds",
+            "Per-window solve time distribution.",
+        ).observe(record.solve_seconds)
         logger.debug(
             "window %s family=%d (%d,%d) status=%s build=%.3fs "
             "queue=%.3fs solve=%.3fs attempts=%d",
@@ -131,6 +162,10 @@ class RunTelemetry:
             "windows_skipped_clean": windows_skipped_clean,
         }
         self.passes.append(entry)
+        self.registry.counter(
+            "repro_run_passes_total",
+            "DistOpt passes completed by this run.",
+        ).inc()
         logger.info(
             "pass %s: %d windows (%d applied, %d failed, %d timed "
             "out, %d cached, %d clean-skipped) wall=%.2fs "
@@ -147,7 +182,7 @@ class RunTelemetry:
         return sum(1 for r in self.records if r.status == status)
 
     def summary(self) -> dict:
-        """The telemetry JSON document (schema v3)."""
+        """The telemetry JSON document (schema v4)."""
         build = sum(r.build_seconds for r in self.records)
         presolve = sum(r.presolve_seconds for r in self.records)
         solve = sum(r.solve_seconds for r in self.records)
@@ -198,6 +233,12 @@ class RunTelemetry:
                 "measured": solve / measured if measured > 0 else None,
                 "modeled": solve / modeled if modeled > 0 else None,
             },
+            "counters": self.registry.to_dict(),
+            "trace": (
+                {"trace_id": self.trace_id}
+                if self.trace_id is not None
+                else None
+            ),
             "passes": self.passes,
             "windows_detail": [asdict(r) for r in self.records],
         }
@@ -209,3 +250,107 @@ class RunTelemetry:
         path.write_text(json.dumps(self.summary(), indent=1))
         logger.info("telemetry -> %s", path)
         return path
+
+    @classmethod
+    def from_spans(cls, spans) -> "RunTelemetry":
+        """Derive a telemetry object from a recorded span tree.
+
+        The spine of the v4 design: spans are the primary record, and
+        a telemetry document can be (re)built from any trace — e.g.
+        ``repro trace report`` summarizing a run after the fact.  Each
+        ``window`` span (with its ``build``/``presolve``/``solve``
+        children and the ``outcome`` attr stamped by the apply side)
+        becomes a :class:`WindowRecord`; ``distopt`` spans become pass
+        entries.  Accepts :class:`repro.obs.Span` objects or span
+        dicts.
+        """
+        from repro.obs.trace import Span
+
+        objs = [
+            s if isinstance(s, Span) else Span.from_dict(s)
+            for s in spans
+        ]
+        telemetry = cls()
+        by_parent: dict[str | None, list] = {}
+        for s in objs:
+            by_parent.setdefault(s.parent_id, []).append(s)
+        for s in objs:
+            if s.trace_id and telemetry.trace_id is None:
+                telemetry.trace_id = s.trace_id
+            if s.name == "vm1_opt":
+                telemetry.wall_seconds = max(
+                    telemetry.wall_seconds, s.wall_seconds
+                )
+                if "executor" in s.attrs:
+                    telemetry.executor = str(s.attrs["executor"])
+                    telemetry.jobs = int(s.attrs.get("jobs", 1))
+        for s in objs:
+            if s.name == "window":
+                children = {
+                    c.name: c for c in by_parent.get(s.span_id, [])
+                }
+                build = children.get("build")
+                pre = children.get("presolve")
+                solve = children.get("solve")
+                telemetry.record_window(
+                    WindowRecord(
+                        pass_label=str(s.attrs.get("pass_label", "")),
+                        family=int(s.attrs.get("family", 0)),
+                        ix=int(s.attrs.get("ix", 0)),
+                        iy=int(s.attrs.get("iy", 0)),
+                        build_seconds=(
+                            build.wall_seconds if build else 0.0
+                        ),
+                        presolve_seconds=(
+                            pre.wall_seconds if pre else 0.0
+                        ),
+                        solve_seconds=(
+                            solve.wall_seconds if solve else 0.0
+                        ),
+                        status=str(s.attrs.get("outcome", "skipped")),
+                        attempts=1,
+                        num_pairs=int(
+                            solve.attrs.get("num_pairs", 0)
+                            if solve
+                            else 0
+                        ),
+                    )
+                )
+            elif s.name == "distopt":
+                telemetry.record_pass(
+                    str(s.attrs.get("pass_label", "")),
+                    wall_seconds=s.wall_seconds,
+                    build_seconds=0.0,
+                    solve_seconds=0.0,
+                    measured_parallel_seconds=0.0,
+                    modeled_parallel_seconds=0.0,
+                    windows=int(s.attrs.get("windows_built", 0)),
+                    applied=int(s.attrs.get("windows_applied", 0)),
+                    failed=0,
+                    timed_out=0,
+                    cache_hits=int(s.attrs.get("windows_cached", 0)),
+                    windows_skipped_clean=int(
+                        s.attrs.get("windows_skipped_clean", 0)
+                    ),
+                )
+        return telemetry
+
+
+def load_telemetry(path: str | Path) -> dict:
+    """Read a telemetry JSON document, accepting schema v3 or v4.
+
+    v3 documents are normalized to the v4 shape: the sections v4
+    added (``counters``, ``trace``) are filled with their empty
+    defaults and the ``schema`` field is left at the document's own
+    version so callers can tell what was actually on disk.
+    """
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    if schema not in READABLE_SCHEMAS:
+        raise ValueError(
+            f"unsupported telemetry schema {schema!r} "
+            f"(expected one of {READABLE_SCHEMAS})"
+        )
+    doc.setdefault("counters", {})
+    doc.setdefault("trace", None)
+    return doc

@@ -60,3 +60,7 @@ __all__ = [
     "render_metrics",
     "serve",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.service")

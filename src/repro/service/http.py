@@ -31,7 +31,6 @@ every worker is joined — nothing is orphaned).
 from __future__ import annotations
 
 import json
-import logging
 import signal
 import threading
 import time
@@ -39,10 +38,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.jobstore import JobState, JobStore
+from repro.service.jobstore import JobStore
 from repro.service.manager import JobManager, flow_config_from_spec
 
-logger = logging.getLogger("repro.service")
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.service")
 
 #: Safety cap on ?follow=1 event streams (seconds).
 _FOLLOW_MAX_SECONDS = 3600.0
@@ -286,39 +287,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
 
 def render_metrics(server: ServiceServer) -> str:
-    """Prometheus text exposition of the service gauges/counters."""
-    metrics = server.manager.metrics()
-    lines = [
-        "# HELP repro_service_uptime_seconds Seconds since start.",
-        "# TYPE repro_service_uptime_seconds gauge",
-        f"repro_service_uptime_seconds "
-        f"{metrics['uptime_seconds']:.3f}",
-        "# HELP repro_service_workers Configured job workers.",
-        "# TYPE repro_service_workers gauge",
-        f"repro_service_workers {metrics['workers']}",
-        "# HELP repro_jobs_active Jobs currently executing.",
-        "# TYPE repro_jobs_active gauge",
-        f"repro_jobs_active {metrics['active']}",
-        "# HELP repro_service_draining 1 while gracefully draining.",
-        "# TYPE repro_service_draining gauge",
-        f"repro_service_draining {int(metrics['draining'])}",
-        "# HELP repro_jobs Jobs in the journal by lifecycle state.",
-        "# TYPE repro_jobs gauge",
-    ]
-    for state in JobState:
-        count = metrics["jobs_by_state"].get(state.value, 0)
-        lines.append(
-            f'repro_jobs{{state="{state.value}"}} {count}'
-        )
-    lines += [
-        "# HELP repro_jobs_lifecycle_total Manager lifecycle counters.",
-        "# TYPE repro_jobs_lifecycle_total counter",
-    ]
-    for name, value in sorted(metrics["counters"].items()):
-        lines.append(
-            f'repro_jobs_lifecycle_total{{event="{name}"}} {value}'
-        )
-    return "\n".join(lines) + "\n"
+    """Prometheus text exposition of the service gauges/counters.
+
+    Rendered from the manager's :class:`repro.obs.MetricsRegistry` —
+    the gauges pull live values (uptime, jobs by state, ...) at scrape
+    time, so there is nothing to assemble here.
+    """
+    return server.manager.registry.render_prometheus()
 
 
 def build_server(

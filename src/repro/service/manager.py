@@ -30,21 +30,41 @@ graceful shutdown never orphans workers.
 
 from __future__ import annotations
 
-import logging
 import threading
 import time
 import traceback
+from contextlib import nullcontext
 
 from repro.flow import FlowConfig, run_flow, table2_row
 from repro.lefdef import write_def
+from repro.obs.export import TraceWriter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, tracer_scope
 from repro.runtime import EXECUTOR_KINDS
 from repro.service.jobstore import JobRecord, JobState, JobStore
 from repro.tech import CellArchitecture
 
-logger = logging.getLogger("repro.service")
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.service")
 
 #: Result document schema.
 RESULT_SCHEMA = "repro.service.result/v1"
+
+#: Lifecycle events counted on ``repro_jobs_lifecycle_total{event=}``.
+#: All pre-registered at zero so every series is visible from the
+#: first ``/metrics`` scrape.
+_LIFECYCLE_EVENTS = (
+    "jobs_started",
+    "jobs_done",
+    "jobs_failed",
+    "jobs_cancelled",
+    "jobs_interrupted",
+    "passes",
+    "shards_completed",
+    "seam_passes",
+    "windows_skipped_clean",
+)
 
 
 class JobCancelled(Exception):
@@ -89,6 +109,9 @@ _FLOW_SPEC_FIELDS = {
     "timing_driven": bool,
     "shards": _shards,
     "halo_rows": int,
+    # Service-level switch, not a FlowConfig field: write a span trace
+    # to <job_dir>/trace.ndjson (see repro.obs).
+    "trace": bool,
 }
 
 _PROFILES = ("m0", "aes", "jpeg", "vga")
@@ -155,6 +178,7 @@ def flow_config_from_spec(spec: dict) -> FlowConfig:
         )
     if clean.get("halo_rows", 2) < 0:
         raise ValueError("spec field 'halo_rows' must be >= 0")
+    clean.pop("trace", None)  # consumed by the manager, not the flow
     return FlowConfig(**clean)
 
 
@@ -177,16 +201,58 @@ class JobManager:
         self._threads: list[threading.Thread] = []
         self._active_lock = threading.Lock()
         self._active: dict[str, threading.Event] = {}
-        self.counters = {
-            "jobs_started": 0,
-            "jobs_done": 0,
-            "jobs_failed": 0,
-            "jobs_cancelled": 0,
-            "jobs_interrupted": 0,
-            "passes": 0,
-            "shards_completed": 0,
-            "seam_passes": 0,
-            "windows_skipped_clean": 0,
+        # The service metrics registry (see repro.obs.metrics): the
+        # single source both /metrics exposition and metrics() report
+        # from.  Service-level gauges pull their values at scrape time.
+        self.registry = MetricsRegistry()
+        self._lifecycle = self.registry.counter(
+            "repro_jobs_lifecycle_total",
+            "Manager lifecycle counters.",
+            ("event",),
+        )
+        for event in _LIFECYCLE_EVENTS:
+            self._lifecycle.inc(0, event=event)
+        self.registry.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since start.",
+            callback=lambda: time.time() - self.started_at,
+        )
+        self.registry.gauge(
+            "repro_service_workers",
+            "Configured job workers.",
+            callback=lambda: self.workers,
+        )
+        self.registry.gauge(
+            "repro_jobs_active",
+            "Jobs currently executing.",
+            callback=lambda: len(self.active_jobs()),
+        )
+        self.registry.gauge(
+            "repro_service_draining",
+            "1 while gracefully draining.",
+            callback=lambda: int(self.draining),
+        )
+        self.registry.gauge(
+            "repro_jobs",
+            "Jobs in the journal by lifecycle state.",
+            ("state",),
+            callback=self._jobs_by_state_series,
+        )
+
+    def _jobs_by_state_series(self) -> dict[tuple[str, ...], int]:
+        counts = self.store.counts_by_state()
+        return {
+            (state.value,): counts.get(state.value, 0)
+            for state in JobState
+        }
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the lifecycle counters as a plain dict."""
+        values = self._lifecycle.to_value()
+        return {
+            event: int(values.get(event, 0))
+            for event in _LIFECYCLE_EVENTS
         }
 
     # ------------------------------------------------------ lifecycle
@@ -261,7 +327,7 @@ class JobManager:
             cancel.set()
         with self._active_lock:
             self._active[job_id] = cancel
-        self.counters["jobs_started"] += 1
+        self._lifecycle.inc(event="jobs_started")
         logger.info(
             "job %s start (attempt %d)", job_id, record.attempts
         )
@@ -270,17 +336,17 @@ class JobManager:
                 raise ValueError(f"unknown job kind {record.kind!r}")
             self._run_flow_job(record, cancel)
         except JobCancelled:
-            self.counters["jobs_cancelled"] += 1
+            self._lifecycle.inc(event="jobs_cancelled")
             self.store.mark_cancelled(job_id)
             logger.info("job %s cancelled", job_id)
         except ServiceShutdown:
-            self.counters["jobs_interrupted"] += 1
+            self._lifecycle.inc(event="jobs_interrupted")
             self.store.requeue(job_id, reason="shutdown")
             logger.info(
                 "job %s interrupted by shutdown — re-queued", job_id
             )
         except Exception as exc:  # noqa: BLE001 — job isolation
-            self.counters["jobs_failed"] += 1
+            self._lifecycle.inc(event="jobs_failed")
             self.store.mark_failed(job_id, error=repr(exc))
             logger.warning(
                 "job %s failed: %s\n%s",
@@ -289,7 +355,7 @@ class JobManager:
                 traceback.format_exc(),
             )
         else:
-            self.counters["jobs_done"] += 1
+            self._lifecycle.inc(event="jobs_done")
             self.store.mark_done(job_id)
             logger.info("job %s done", job_id)
         finally:
@@ -315,14 +381,15 @@ class JobManager:
 
         def progress(stage: str, info: dict) -> None:
             if stage == "pass":
-                self.counters["passes"] += 1
+                self._lifecycle.inc(event="passes")
             elif stage == "shard":
-                self.counters["shards_completed"] += 1
+                self._lifecycle.inc(event="shards_completed")
             elif stage == "seam":
-                self.counters["seam_passes"] += 1
+                self._lifecycle.inc(event="seam_passes")
             if stage in ("pass", "seam"):
-                self.counters["windows_skipped_clean"] += int(
-                    info.get("windows_skipped_clean", 0) or 0
+                self._lifecycle.inc(
+                    int(info.get("windows_skipped_clean", 0) or 0),
+                    event="windows_skipped_clean",
                 )
             self.store.append_event(
                 job_id, {"type": stage, **info}
@@ -335,21 +402,46 @@ class JobManager:
             if self._stop.is_set():
                 raise ServiceShutdown(job_id)
 
+        # Per-job span trace (spec {"trace": true}): appended to
+        # <job_dir>/trace.ndjson.  A resumed attempt re-joins the
+        # interrupted attempt's trace — the checkpoint carries its
+        # (trace_id, root span id), so one coherent tree spans both.
+        tracer = writer = None
+        if record.spec.get("trace"):
+            writer = TraceWriter(
+                self.store.job_dir(job_id) / "trace.ndjson"
+            )
+            seed = resume.trace if resume is not None else None
+            tracer = Tracer(
+                trace_id=seed[0] if seed else None,
+                root_parent_id=seed[1] if seed else None,
+                sink=writer,
+            )
+
         # Sharded jobs keep their crash-safe state per shard inside the
         # job directory; a plan fingerprint from an interrupted attempt
         # means "resume" (finished shards fast-forward).
         shard_dir = self.store.job_dir(job_id) / "shards"
         shard_resume = (shard_dir / "plan.json").exists()
-        result = run_flow(
-            config,
-            progress=progress,
-            checkpoint_sink=lambda cp: self.store.write_checkpoint(
-                job_id, cp
-            ),
-            resume=resume,
-            shard_checkpoint_dir=shard_dir,
-            shard_resume=shard_resume,
-        )
+        try:
+            with tracer_scope(tracer) if tracer is not None else (
+                nullcontext()
+            ):
+                result = run_flow(
+                    config,
+                    progress=progress,
+                    checkpoint_sink=(
+                        lambda cp: self.store.write_checkpoint(
+                            job_id, cp
+                        )
+                    ),
+                    resume=resume,
+                    shard_checkpoint_dir=shard_dir,
+                    shard_resume=shard_resume,
+                )
+        finally:
+            if writer is not None:
+                writer.close()
 
         row = table2_row(result)
         result_doc = {

@@ -74,3 +74,7 @@ __all__ = [
     "generate_scaled_design",
     "scale_profile",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.shard")

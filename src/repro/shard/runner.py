@@ -34,6 +34,8 @@ from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
 from repro.core.vm1opt import VM1OptResult, vm1_opt
 from repro.netlist.design import Design
+from repro.obs.trace import active as active_tracer
+from repro.obs.trace import collecting, current_context, span
 from repro.runtime import make_executor
 from repro.shard.partition import (
     NetClassification,
@@ -82,6 +84,11 @@ class ShardOutcome:
     windows_timed_out: int = 0
     windows_cached: int = 0
     resumed: bool = False
+    #: span dicts collected inside the shard worker when the task
+    #: carried a trace context; they ride the ``done`` record so a
+    #: resumed run keeps the finished shard's trace without re-running
+    #: it, and the submitting side absorbs them in shard order.
+    spans: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -102,6 +109,7 @@ class ShardOutcome:
             "windows_timed_out": self.windows_timed_out,
             "windows_cached": self.windows_cached,
             "resumed": self.resumed,
+            "spans": list(self.spans),
         }
 
     @classmethod
@@ -129,6 +137,7 @@ class ShardOutcome:
             windows_timed_out=int(doc["windows_timed_out"]),
             windows_cached=int(doc["windows_cached"]),
             resumed=bool(doc.get("resumed", False)),
+            spans=list(doc.get("spans", [])),
         )
 
 
@@ -148,6 +157,9 @@ class ShardTask:
     dirty_tracking: bool = True
     checkpoint_path: str | None = None
     resume_doc: dict | None = None
+    #: ``(trace_id, parent_span_id)`` from the submitting side; the
+    #: worker collects its whole ``vm1_opt`` span subtree under it.
+    trace: tuple[str, str | None] | None = None
 
     def run(self) -> ShardOutcome:
         design: Design = pickle.loads(self.design_blob)
@@ -164,17 +176,21 @@ class ShardTask:
                 _atomic_write(Path(path), cp.dumps())
 
         started = time.perf_counter()
-        with make_executor(self.inner_executor, self.inner_jobs) as ex:
-            result = vm1_opt(
-                design,
-                self.params,
-                executor=ex,
-                presolve=self.presolve,
-                window_cache=self.window_cache,
-                dirty_tracking=self.dirty_tracking,
-                checkpoint_sink=sink,
-                resume=resume,
-            )
+        with collecting(self.trace) as trace_collector:
+            with span("shard", index=self.index):
+                with make_executor(
+                    self.inner_executor, self.inner_jobs
+                ) as ex:
+                    result = vm1_opt(
+                        design,
+                        self.params,
+                        executor=ex,
+                        presolve=self.presolve,
+                        window_cache=self.window_cache,
+                        dirty_tracking=self.dirty_tracking,
+                        checkpoint_sink=sink,
+                        resume=resume,
+                    )
         wall = time.perf_counter() - started
         return ShardOutcome(
             index=self.index,
@@ -197,6 +213,7 @@ class ShardTask:
             windows_timed_out=result.windows_timed_out,
             windows_cached=result.windows_cached,
             resumed=resume is not None,
+            spans=trace_collector.export(),
         )
 
 
@@ -501,13 +518,18 @@ def run_sharded(
         result.wall_seconds = time.perf_counter() - started
         return result
 
-    plan = plan_shards(design, shards, halo_rows)
-    errors = verify_plan(design, plan)
-    if errors:
-        raise ShardPlanError(
-            f"shard plan failed independence proof: {errors}"
-        )
-    nets = classify_nets(design, plan)
+    # Shipped into every shard worker; the workers' "shard" spans (and
+    # their whole vm1_opt subtrees) parent under the span active here
+    # (the flow's "opt" stage when called from run_flow).
+    trace_ctx = current_context()
+    with span("shard_plan", shards=shards, halo_rows=halo_rows):
+        plan = plan_shards(design, shards, halo_rows)
+        errors = verify_plan(design, plan)
+        if errors:
+            raise ShardPlanError(
+                f"shard plan failed independence proof: {errors}"
+            )
+        nets = classify_nets(design, plan)
     initial = calculate_objective(design, params)
 
     store: ShardCheckpointStore | None = None
@@ -576,6 +598,7 @@ def run_sharded(
                     if store is not None and resuming
                     else None
                 ),
+                trace=trace_ctx,
             )
         )
 
@@ -591,9 +614,18 @@ def run_sharded(
             futures = [
                 (task, shard_executor.submit(task)) for task in tasks
             ]
+            tracer = (
+                active_tracer() if trace_ctx is not None else None
+            )
             for task, future in futures:
                 outcome = future.result()
                 outcomes[task.index] = outcome
+                if tracer is not None and outcome.spans:
+                    # Submission (= shard) order: deterministic trace
+                    # files under any executor.  Done-record outcomes
+                    # are NOT re-absorbed on resume — their spans were
+                    # already written by the attempt that ran them.
+                    tracer.absorb(outcome.spans)
                 if store is not None:
                     store.write_done(outcome)
                 if progress is not None:
@@ -622,7 +654,7 @@ def run_sharded(
         cells_merged=merge_shard_placements(design, merged)
     )
     if seam:
-        with make_executor(
+        with span("seam"), make_executor(
             "auto" if jobs > 1 else "serial", jobs
         ) as seam_executor:
             stitch.seam_pass = run_seam_pass(
@@ -647,7 +679,8 @@ def run_sharded(
                 },
             )
     if verify:
-        stitch.verify_errors = verify_stitched(design)
+        with span("stitch_verify"):
+            stitch.verify_errors = verify_stitched(design)
 
     final = calculate_objective(design, params)
     result = ShardRunResult(

@@ -26,3 +26,7 @@ __all__ = [
     "Technology",
     "make_tech",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.tech")

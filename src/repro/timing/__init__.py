@@ -20,3 +20,7 @@ __all__ = [
     "PowerReport",
     "estimate_power",
 ]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.timing")

@@ -8,3 +8,7 @@ paper's screenshots (Figures 2 and 8) come from.
 from repro.viz.svg import render_design_svg, render_routes_svg
 
 __all__ = ["render_design_svg", "render_routes_svg"]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.viz")

@@ -1,0 +1,75 @@
+"""Logger hygiene: importing repro must emit nothing, ever."""
+
+import logging
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.log import install_null_handler, subsystem_logger
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_importing_repro_emits_nothing():
+    """A library must be silent on import — no stderr, no stdout,
+    even when the importer configures no logging at all."""
+    code = (
+        "import repro\n"
+        "import repro.obs\n"
+        "import repro.runtime\n"
+        "import repro.service\n"
+        "import repro.flow\n"
+        "import logging\n"
+        # Emitting on a repro logger with zero user configuration must
+        # also stay silent: the NullHandler stops logging.lastResort.
+        "logging.getLogger('repro.runtime').warning('hidden')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": _SRC},
+        check=True,
+    )
+    assert proc.stdout == ""
+    assert proc.stderr == ""
+
+
+def test_every_package_has_a_child_logger():
+    import repro
+
+    pkg_dir = Path(repro.__file__).parent
+    packages = sorted(
+        p.name
+        for p in pkg_dir.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    )
+    assert packages, "expected repro subpackages"
+    for name in packages:
+        module = __import__(f"repro.{name}", fromlist=["logger"])
+        logger = getattr(module, "logger", None)
+        assert isinstance(logger, logging.Logger), (
+            f"repro.{name} has no module logger"
+        )
+        assert logger.name == f"repro.{name}"
+
+
+def test_subsystem_logger_rejects_foreign_names():
+    with pytest.raises(ValueError):
+        subsystem_logger("notrepro.thing")
+    assert subsystem_logger("repro").name == "repro"
+    assert subsystem_logger("repro.obs").name == "repro.obs"
+
+
+def test_null_handler_installed_once():
+    install_null_handler()
+    install_null_handler()
+    root = logging.getLogger("repro")
+    nulls = [
+        h
+        for h in root.handlers
+        if type(h) is logging.NullHandler
+    ]
+    assert len(nulls) == 1

@@ -1,0 +1,156 @@
+"""Cross-executor and cross-attempt span propagation.
+
+The acceptance bar from the obs design: the span tree of a run has the
+same *shape* no matter which executor ran the windows (worker-side
+build/presolve/solve spans come back as dicts and are absorbed in
+canonical task order), and a resumed run re-joins the interrupted
+attempt's trace via the context riding the checkpoint.
+"""
+
+import pytest
+
+from repro.core import OptParams
+from repro.core.checkpoint import VM1Checkpoint
+from repro.core.distopt import dist_opt
+from repro.core.params import ParamSet
+from repro.core.vm1opt import vm1_opt
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.obs.trace import Tracer, tracer_scope, tree_shape
+from repro.placement import place_design
+from repro.runtime import make_executor
+from repro.tech import CellArchitecture, make_tech
+
+
+def _fresh_design(seed=2):
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    lib = build_library(tech)
+    design = generate_design("m0", tech, lib, scale=0.01, seed=seed)
+    place_design(design, seed=1)
+    return design
+
+
+def _traced_pass(executor_kind: str) -> Tracer:
+    design = _fresh_design()
+    params = OptParams.for_arch(design.tech.arch, time_limit=2.0)
+    tracer = Tracer()
+    with tracer_scope(tracer):
+        with make_executor(executor_kind, 2) as executor:
+            dist_opt(
+                design,
+                params,
+                tx=0,
+                ty=0,
+                bw=1250,
+                bh=1080,
+                lx=2,
+                ly=1,
+                allow_flip=False,
+                executor=executor,
+                pass_label="move[test]",
+            )
+    return tracer
+
+
+def test_serial_run_has_rooted_window_tree():
+    tracer = _traced_pass("serial")
+    shape = tree_shape(tracer.spans)
+    assert len(shape) == 1
+    assert shape[0][0] == "distopt"
+    window_shapes = shape[0][1]
+    assert window_shapes, "expected window spans under the pass"
+    assert all(ws[0] == "window" for ws in window_shapes)
+    # every built window carries worker-side child spans
+    child_names = {
+        name for ws in window_shapes for name, _ in ws[1]
+    }
+    assert child_names <= {"build", "presolve", "solve"}
+    assert "solve" in child_names
+
+
+def test_window_spans_carry_apply_verdict():
+    tracer = _traced_pass("serial")
+    outcomes = [
+        s.attrs["outcome"]
+        for s in tracer.spans
+        if s.name == "window"
+    ]
+    assert outcomes, "expected absorbed window spans"
+    known = {
+        "applied", "reverted", "no_move", "no_solution",
+        "failed", "timed_out", "empty",
+    }
+    assert set(outcomes) <= known
+
+
+@pytest.mark.parametrize("kind", ["thread", "process"])
+def test_tree_shape_identical_across_executors(kind):
+    serial = tree_shape(_traced_pass("serial").spans)
+    other = tree_shape(_traced_pass(kind).spans)
+    assert other == serial
+
+
+def test_trace_files_are_order_deterministic():
+    """Absorption follows canonical task order, so two runs record
+    window spans in the same sequence regardless of completion order."""
+    a = [s.name for s in _traced_pass("thread").spans]
+    b = [s.name for s in _traced_pass("thread").spans]
+    assert a == b
+
+
+def test_checkpoint_carries_context_and_resume_rejoins_trace():
+    params = OptParams.for_arch(
+        CellArchitecture.CLOSED_M1,
+        sequence=(ParamSet.square(1.0, 2, 1),),
+        time_limit=2.0,
+    )
+
+    checkpoints = []
+    first = Tracer()
+    with tracer_scope(first):
+        vm1_opt(
+            _fresh_design(),
+            params,
+            checkpoint_sink=lambda cp: checkpoints.append(cp),
+        )
+    assert checkpoints, "expected per-pass checkpoints"
+    vm1_span = next(
+        s for s in first.spans if s.name == "vm1_opt"
+    )
+    for cp in checkpoints:
+        assert cp.trace == (first.trace_id, vm1_span.span_id)
+
+    # Resume from the first checkpoint after a JSON round trip (what
+    # the jobstore does), seeding the tracer from the stored context —
+    # exactly the service's resume path.
+    restored = VM1Checkpoint.loads(checkpoints[0].dumps())
+    second = Tracer(
+        trace_id=restored.trace[0],
+        root_parent_id=restored.trace[1],
+    )
+    with tracer_scope(second):
+        vm1_opt(_fresh_design(), params, resume=restored)
+
+    combined = first.spans + second.spans
+    assert {s.trace_id for s in combined} == {first.trace_id}
+    shape = tree_shape(combined)
+    assert len(shape) == 1, "both attempts must share one root"
+    assert shape[0][0] == "vm1_opt"
+
+
+def test_untraced_run_ships_no_spans():
+    design = _fresh_design()
+    params = OptParams.for_arch(design.tech.arch, time_limit=2.0)
+    result = dist_opt(
+        design,
+        params,
+        tx=0,
+        ty=0,
+        bw=1250,
+        bh=1080,
+        lx=2,
+        ly=1,
+        allow_flip=False,
+        pass_label="move[untraced]",
+    )
+    assert result.objective == result.objective  # ran fine

@@ -140,7 +140,7 @@ def test_summary_schema_and_save(tmp_path):
     assert json.loads(path.read_text())["schema"] == TELEMETRY_SCHEMA
 
 
-def test_v3_json_roundtrip_from_real_run(tmp_path):
+def test_v4_json_roundtrip_from_real_run(tmp_path):
     """Write → load → validate the v3 fields the service's progress
     stream depends on (schema id, presolve seconds, cache hits/misses,
     clean-skip counts)."""
@@ -178,8 +178,17 @@ def test_v3_json_roundtrip_from_real_run(tmp_path):
     path = telemetry.save(tmp_path / "telemetry.json")
     doc = json.loads(path.read_text())
 
-    assert doc["schema"] == "repro.runtime.telemetry/v3"
+    assert doc["schema"] == "repro.runtime.telemetry/v4"
     assert doc["schema"] == TELEMETRY_SCHEMA
+    # v4 observability sections: counters rendered from the per-run
+    # registry; trace null because no tracer was active.
+    assert doc["trace"] is None
+    counters = doc["counters"]
+    windows_by_status = counters["repro_run_windows_total"]
+    assert sum(windows_by_status.values()) == len(
+        doc["windows_detail"]
+    )
+    assert counters["repro_run_passes_total"] == len(doc["passes"])
     # v3 clean-skip visibility: present per pass and in the summary
     # (zero here — no DirtyTracker was wired into these passes).
     assert all("windows_skipped_clean" in p for p in doc["passes"])

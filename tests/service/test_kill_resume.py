@@ -144,6 +144,58 @@ def test_sigkill_resume_is_byte_identical(tmp_path):
     assert resumed_def == reference_def
 
 
+def test_sigkill_trace_survives_and_resume_rejoins_it(tmp_path):
+    """ISSUE 9: a traced job's NDJSON trace survives SIGKILL (torn
+    final line tolerated) and the resumed attempt appends to the same
+    trace — one trace_id, one rooted tree, one header line."""
+    from repro.obs.export import read_trace
+    from repro.obs.trace import tree_shape
+
+    root = tmp_path / "traced"
+    proc, client = _start_server(root)
+    try:
+        job_id = client.submit({**SPEC, "trace": True})
+        _wait_for_checkpoint(root, job_id)
+    finally:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        proc.stdout.close()
+
+    trace_path = root / "jobs" / job_id / "trace.ndjson"
+    assert trace_path.exists(), "no spans flushed before the kill"
+    # Readable right now, torn tail and all.
+    killed_spans = read_trace(trace_path)
+    trace_ids = {s.trace_id for s in killed_spans}
+    assert len(trace_ids) == 1
+
+    proc, client = _start_server(root)
+    try:
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done", final.get("error")
+        assert final["attempts"] == 2
+    finally:
+        _stop_server(proc)
+
+    spans = read_trace(trace_path)
+    assert len(spans) > len(killed_spans)
+    assert {s.trace_id for s in spans} == trace_ids
+    # Exactly one header even though two attempts appended.
+    headers = [
+        line
+        for line in trace_path.read_text().splitlines()
+        if '"type": "header"' in line or '"type":"header"' in line
+    ]
+    assert len(headers) == 1
+    # One coherent trace: the killed attempt's *unfinished* ancestors
+    # (its flow/opt/vm1_opt spans) never wrote their lines, so its
+    # finished stage/pass spans surface as roots; the resumed attempt
+    # parents under the killed attempt's run-span id (the context rode
+    # the checkpoint) and contributes exactly one complete flow tree.
+    shape = tree_shape(spans)
+    flow_roots = [s for s in shape if s[0] == "flow"]
+    assert len(flow_roots) == 1, shape
+
+
 def test_sigterm_drains_multiprocess_job_and_exits_nonzero(tmp_path):
     root = tmp_path / "drain"
     proc, client = _start_server(root)
