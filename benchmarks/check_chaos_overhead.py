@@ -1,0 +1,87 @@
+"""CI gate for the disabled-chaos overhead budget (ISSUE 10).
+
+Reads ``benchmarks/results/BENCH_chaos_overhead.json`` (written by
+running ``benchmarks/test_chaos_overhead.py``) and fails when the
+measured upper bound on hook overhead — consultations times disabled
+per-call cost, over the unfaulted workload wall time — reaches the
+1% budget, or when the census shows the hooks were effectively
+absent (zero consultations: the bound would be vacuous).
+
+Exit codes: 0 ok, 1 over budget, 2 missing/malformed report.  The
+gate imports nothing from the package so it runs without an install.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPORT = (
+    Path(__file__).parent / "results" / "BENCH_chaos_overhead.json"
+)
+
+#: Mirrors benchmarks/test_chaos_overhead.MAX_OVERHEAD (not imported:
+#: the gate must run without the package importable).
+MAX_OVERHEAD = 0.01
+
+
+def main() -> int:
+    if not REPORT.exists():
+        print(
+            f"missing report {REPORT}; run "
+            f"benchmarks/test_chaos_overhead.py first"
+        )
+        return 2
+    try:
+        doc = json.loads(REPORT.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"malformed report {REPORT}: {exc}")
+        return 2
+    if not isinstance(doc, dict):
+        print(
+            f"malformed report {REPORT}: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+        return 2
+
+    overhead = doc.get("overhead_fraction")
+    consultations = doc.get("hook_consultations")
+    per_call_ns = doc.get("per_call_ns")
+    wall = doc.get("workload_wall_seconds")
+    for field, value in (
+        ("overhead_fraction", overhead),
+        ("hook_consultations", consultations),
+        ("per_call_ns", per_call_ns),
+        ("workload_wall_seconds", wall),
+    ):
+        if not isinstance(value, (int, float)):
+            print(f"malformed report: {field} missing or non-numeric")
+            return 2
+
+    print(
+        f"disabled-chaos overhead bound: {overhead:.4%} "
+        f"(budget {MAX_OVERHEAD:.0%}) — {consultations} hooks x "
+        f"{per_call_ns:.0f}ns over {wall:.2f}s unfaulted"
+    )
+    failed = False
+    if consultations <= 0:
+        print(
+            "FAIL: armed census saw zero consultations — bound is "
+            "vacuous"
+        )
+        failed = True
+    if overhead >= MAX_OVERHEAD:
+        print(
+            f"FAIL: overhead bound {overhead:.4%} >= "
+            f"{MAX_OVERHEAD:.0%} budget"
+        )
+        failed = True
+    if failed:
+        return 1
+    print("chaos overhead ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""repro.chaos — deterministic, seed-driven fault injection.
+
+Two halves:
+
+* :mod:`repro.chaos.plan` — ``FaultPlan``/``FaultRule``: JSON fault
+  plans (schema ``repro.chaos.plan/v1``) mapping injection sites to
+  trigger predicates.
+* :mod:`repro.chaos.inject` — ``ChaosController`` + the hook helpers
+  the production code calls (``barrier``, ``active_chaos``, …).
+
+The differential chaos runner and fuzzing live in
+:mod:`repro.chaos.runner`, which pulls in netlist/core/check and is
+imported lazily by its callers (CLI, ``repro.check``) — importing
+``repro.chaos`` itself stays light so hook sites can afford it.
+"""
+
+from repro.chaos.inject import (
+    ChaosController,
+    ChaosFault,
+    PoisonPill,
+    active_chaos,
+    barrier,
+    chaos_scope,
+    install,
+    uninstall,
+)
+from repro.chaos.plan import (
+    PLAN_SCHEMA,
+    SITES,
+    ChaosPlanError,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "SITES",
+    "ChaosController",
+    "ChaosFault",
+    "ChaosPlanError",
+    "FaultPlan",
+    "FaultRule",
+    "PoisonPill",
+    "active_chaos",
+    "barrier",
+    "chaos_scope",
+    "install",
+    "uninstall",
+]
+
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.chaos")

@@ -1,0 +1,296 @@
+"""Fault plans: the declarative half of the chaos harness.
+
+A :class:`FaultPlan` is a small JSON document (schema
+``repro.chaos.plan/v1``) mapping *injection sites* — named hook
+points threaded through the runtime/milp/service/shard layers — to
+*trigger predicates*: fire on the nth matching call, on a seeded
+per-call probability, periodically, or only while a named span is
+open.  Plans are data, never code: the same plan file drives a unit
+test, the ``repro chaos`` CLI, and the CI corpus, and two runs of the
+same plan against the same seed inject byte-identical fault
+sequences.
+
+Site inventory (see DESIGN.md §13 for where each hook lives):
+
+========================  ==============================  ===========
+site                      actions                         layer
+========================  ==============================  ===========
+``runtime.worker``        raise / crash / hang            scheduler →
+                                                          worker
+``runtime.result``        poison / lost                   worker →
+                                                          scheduler
+``milp.solve``            error / infeasible / timeout    solver
+                                                          return
+``jobstore.event``        torn                            events
+                                                          journal
+``jobstore.checkpoint``   torn                            checkpoint
+                                                          writes
+``fs.fsync``              fail                            atomic
+                                                          write path
+``shard.plan``            stale                           shard
+                                                          fingerprint
+``barrier``               raise / kill                    named
+                                                          barriers
+========================  ==============================  ===========
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+#: JSON schema identifier of a fault-plan document.
+PLAN_SCHEMA = "repro.chaos.plan/v1"
+
+#: Every known injection site and the actions it supports.
+SITES: dict[str, tuple[str, ...]] = {
+    "runtime.worker": ("raise", "crash", "hang"),
+    "runtime.result": ("poison", "lost"),
+    "milp.solve": ("error", "infeasible", "timeout"),
+    "jobstore.event": ("torn",),
+    "jobstore.checkpoint": ("torn",),
+    "fs.fsync": ("fail",),
+    "shard.plan": ("stale",),
+    "barrier": ("raise", "kill"),
+}
+
+_RULE_KEYS = frozenset(
+    (
+        "site",
+        "action",
+        "nth",
+        "every",
+        "probability",
+        "match",
+        "span",
+        "seconds",
+        "max_fires",
+        "on_retry",
+    )
+)
+
+_PLAN_KEYS = frozenset(("schema", "seed", "faults", "run"))
+
+
+class ChaosPlanError(ValueError):
+    """A fault plan is malformed; the message is one actionable line."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *where* (site + filters) and *when*.
+
+    Exactly which calls fire is decided by the trigger predicates:
+
+    * ``nth`` — fire on the nth matching call (1-based);
+    * ``every`` — fire on every k-th matching call;
+    * ``probability`` — fire with this seeded per-call probability
+      (deterministic: the controller derives one RNG per rule from
+      the plan seed);
+    * ``match`` — only calls whose name contains this substring count;
+    * ``span`` — only calls made while a span with this name is open
+      on the calling thread count (see :mod:`repro.obs.trace`).
+
+    ``max_fires`` caps total fires (0 = unlimited); ``seconds`` sizes
+    a ``hang``; ``on_retry`` opts a per-window rule into also arming
+    retry attempts — off by default, which makes every per-window
+    fault transient by construction (the retry runs clean, so the
+    placement converges byte-identically to the clean run).
+    """
+
+    site: str
+    action: str
+    nth: int = 0
+    every: int = 0
+    probability: float = 0.0
+    match: str = ""
+    span: str = ""
+    seconds: float = 30.0
+    max_fires: int = 0
+    on_retry: bool = False
+
+    def validate(self) -> None:
+        if self.site not in SITES:
+            raise ChaosPlanError(
+                f"unknown site {self.site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.action not in SITES[self.site]:
+            raise ChaosPlanError(
+                f"site {self.site!r} does not support action "
+                f"{self.action!r}; supported: "
+                f"{', '.join(SITES[self.site])}"
+            )
+        if not (self.nth or self.every or self.probability):
+            raise ChaosPlanError(
+                f"rule for {self.site!r} has no trigger; set one of "
+                f"nth, every, probability"
+            )
+        if self.nth < 0 or self.every < 0:
+            raise ChaosPlanError(
+                f"rule for {self.site!r}: nth/every must be >= 1 "
+                f"when set"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ChaosPlanError(
+                f"rule for {self.site!r}: probability must be in "
+                f"[0, 1], got {self.probability}"
+            )
+        if self.seconds <= 0:
+            raise ChaosPlanError(
+                f"rule for {self.site!r}: seconds must be > 0"
+            )
+        if self.max_fires < 0:
+            raise ChaosPlanError(
+                f"rule for {self.site!r}: max_fires must be >= 0"
+            )
+
+    def to_dict(self) -> dict:
+        doc: dict = {"site": self.site, "action": self.action}
+        defaults = FaultRule(site=self.site, action=self.action)
+        for key in (
+            "nth",
+            "every",
+            "probability",
+            "match",
+            "span",
+            "seconds",
+            "max_fires",
+            "on_retry",
+        ):
+            value = getattr(self, key)
+            if value != getattr(defaults, key):
+                doc[key] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultRule":
+        if not isinstance(doc, dict):
+            raise ChaosPlanError(
+                f"each fault must be an object, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - _RULE_KEYS
+        if unknown:
+            raise ChaosPlanError(
+                f"unknown fault key(s) {sorted(unknown)}; known keys: "
+                f"{sorted(_RULE_KEYS)}"
+            )
+        if "site" not in doc or "action" not in doc:
+            raise ChaosPlanError(
+                "every fault needs both 'site' and 'action'"
+            )
+        try:
+            rule = cls(
+                site=str(doc["site"]),
+                action=str(doc["action"]),
+                nth=int(doc.get("nth", 0)),
+                every=int(doc.get("every", 0)),
+                probability=float(doc.get("probability", 0.0)),
+                match=str(doc.get("match", "")),
+                span=str(doc.get("span", "")),
+                seconds=float(doc.get("seconds", 30.0)),
+                max_fires=int(doc.get("max_fires", 0)),
+                on_retry=bool(doc.get("on_retry", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ChaosPlanError(
+                f"bad fault field value: {exc}"
+            ) from None
+        rule.validate()
+        return rule
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of :class:`FaultRule`.
+
+    ``run`` carries optional execution hints for the chaos runner
+    (``executor``/``jobs``/``profile``/``scale``) so a plan that only
+    makes sense under a particular executor — e.g. a poisoned pickle
+    needs a process boundary — stays self-contained.
+    """
+
+    seed: int = 0
+    faults: tuple[FaultRule, ...] = ()
+    run: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.faults:
+            raise ChaosPlanError("plan has no faults")
+        for rule in self.faults:
+            rule.validate()
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=int(seed))
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "schema": PLAN_SCHEMA,
+            "seed": self.seed,
+            "faults": [rule.to_dict() for rule in self.faults],
+        }
+        if self.run:
+            doc["run"] = dict(self.run)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        if not isinstance(doc, dict):
+            raise ChaosPlanError(
+                f"plan must be a JSON object, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise ChaosPlanError(
+                f"unsupported plan schema {schema!r} "
+                f"(expected {PLAN_SCHEMA!r})"
+            )
+        unknown = set(doc) - _PLAN_KEYS
+        if unknown:
+            raise ChaosPlanError(
+                f"unknown plan key(s) {sorted(unknown)}; known keys: "
+                f"{sorted(_PLAN_KEYS)}"
+            )
+        faults_doc = doc.get("faults")
+        if not isinstance(faults_doc, list) or not faults_doc:
+            raise ChaosPlanError(
+                "'faults' must be a non-empty list of rules"
+            )
+        run = doc.get("run", {})
+        if not isinstance(run, dict):
+            raise ChaosPlanError("'run' must be an object of hints")
+        try:
+            seed = int(doc.get("seed", 0))
+        except (TypeError, ValueError):
+            raise ChaosPlanError("'seed' must be an integer") from None
+        plan = cls(
+            seed=seed,
+            faults=tuple(
+                FaultRule.from_dict(rule) for rule in faults_doc
+            ),
+            run=dict(run),
+        )
+        plan.validate()
+        return plan
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=1) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ChaosPlanError(f"not valid JSON: {exc}") from None
+        return cls.from_dict(doc)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.loads(Path(path).read_text())

@@ -26,6 +26,7 @@ from repro.check.brute import BruteResult, brute_force_window
 from repro.check.differential import (
     CaseReport,
     FuzzSummary,
+    check_chaos_axis,
     check_dirty_onoff_axis,
     check_executor_axis,
     check_presolve_axis,
@@ -65,6 +66,7 @@ __all__ = [
     "brute_force_window",
     "CaseReport",
     "FuzzSummary",
+    "check_chaos_axis",
     "check_dirty_onoff_axis",
     "check_executor_axis",
     "check_presolve_axis",

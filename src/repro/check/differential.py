@@ -521,6 +521,48 @@ def check_dirty_onoff_axis(
     return errors
 
 
+def check_chaos_axis(seed: int = 2) -> list[str]:
+    """Representative fault plans must converge byte-identically.
+
+    One plan per recovery mechanism — worker retry, solver-fault
+    retry, and checkpoint resume after a barrier crash — each run
+    through the full :func:`repro.chaos.runner.run_chaos_case`
+    invariant ladder (convergence, legality, telemetry visibility).
+    The committed corpus in ``tests/chaos/corpus/`` covers the rest;
+    this axis is the CLI-reachable smoke slice.
+    """
+    from repro.chaos.plan import FaultPlan, FaultRule
+    from repro.chaos.runner import run_chaos_case
+
+    cases = (
+        (
+            "worker-raise",
+            FaultRule(site="runtime.worker", action="raise", nth=2),
+        ),
+        (
+            "milp-error",
+            FaultRule(site="milp.solve", action="error", nth=1),
+        ),
+        (
+            "barrier-resume",
+            FaultRule(
+                site="barrier",
+                action="raise",
+                nth=1,
+                match="checkpoint:",
+            ),
+        ),
+    )
+    errors: list[str] = []
+    for name, rule in cases:
+        plan = FaultPlan(seed=seed, faults=(rule,))
+        outcome = run_chaos_case(plan, seed=seed)
+        errors.extend(
+            f"chaos[{name}]: {error}" for error in outcome.errors
+        )
+    return errors
+
+
 def check_resume_axis(
     seed: int = 2,
     *,

@@ -17,6 +17,9 @@ Subcommands:
   cases against the independent oracle + brute-force optimum
   (:mod:`repro.check`), replay corpus reproducers, and run the
   presolve/executor/resume equivalence axes.
+* ``repro chaos`` — deterministic fault injection: run one fault
+  plan faulted-vs-clean (:mod:`repro.chaos`), fuzz seeded random
+  plans with failure shrinking, or list the hook-site inventory.
 
 Run ``repro <subcommand> --help`` for options.
 """
@@ -149,6 +152,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
+    if args.telemetry:
+        target = Path(args.telemetry)
+        if target.is_dir():
+            print(
+                f"--telemetry: path is a directory: {args.telemetry}",
+                file=sys.stderr,
+            )
+            return 2
+        if not target.parent.is_dir():
+            print(
+                f"--telemetry: directory does not exist: "
+                f"{target.parent}",
+                file=sys.stderr,
+            )
+            return 2
     config = FlowConfig(
         profile=args.profile,
         arch=_ARCHS[args.arch],
@@ -351,6 +369,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     # subcommand needs it.
     from repro.check import fuzz, replay_reproducer
     from repro.check.differential import (
+        check_chaos_axis,
         check_dirty_onoff_axis,
         check_executor_axis,
         check_resume_axis,
@@ -368,7 +387,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     axes = set(args.axes.split(","))
     unknown = axes - {
-        "brute", "presolve", "executor", "resume", "dirty_onoff"
+        "brute", "presolve", "executor", "resume", "dirty_onoff",
+        "chaos",
     }
     if unknown:
         print(f"unknown axes: {sorted(unknown)}", file=sys.stderr)
@@ -397,6 +417,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         axis_errors["resume"] = check_resume_axis()
     if "dirty_onoff" in axes:
         axis_errors["dirty_onoff"] = check_dirty_onoff_axis()
+    if "chaos" in axes:
+        axis_errors["chaos"] = check_chaos_axis()
 
     doc = summary.to_dict()
     doc["axes"] = {name: errs for name, errs in axis_errors.items()}
@@ -417,6 +439,79 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(f"reproducer -> {path}")
     ok = summary.ok and not any(axis_errors.values())
     return 0 if ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.plan import SITES, ChaosPlanError, FaultPlan
+
+    if args.chaos_cmd == "sites":
+        for site in sorted(SITES):
+            print(f"{site}: {', '.join(SITES[site])}")
+        return 0
+
+    if args.chaos_cmd == "run":
+        try:
+            plan = FaultPlan.load(args.plan)
+        except FileNotFoundError:
+            print(
+                f"chaos plan not found: {args.plan}", file=sys.stderr
+            )
+            return 2
+        except (ChaosPlanError, ValueError) as exc:
+            print(f"invalid chaos plan: {exc}", file=sys.stderr)
+            return 2
+        if args.seed is not None:
+            plan = plan.with_seed(args.seed)
+        from repro.chaos.runner import run_chaos_case
+
+        result = run_chaos_case(
+            plan,
+            profile=args.profile,
+            scale=args.scale,
+            seed=args.case_seed,
+            time_limit=args.time_limit,
+        )
+        doc = result.summary()
+        if args.json:
+            print(json.dumps(doc, indent=1))
+        else:
+            fires = ", ".join(
+                f"{site}={count}"
+                for site, count in sorted(doc["fires"].items())
+            ) or "none"
+            print(
+                f"converged={doc['converged']} fires=[{fires}] "
+                f"resumes={doc['resume_attempts']} "
+                f"error_spans={doc['error_spans']}"
+            )
+            for error in doc["errors"]:
+                print(f"FAIL {error}", file=sys.stderr)
+        return 0 if result.converged else 1
+
+    # fuzz
+    from repro.chaos.runner import run_fuzz
+
+    summary = run_fuzz(
+        args.plans,
+        seed=args.seed or 0,
+        out_dir=args.artifacts or None,
+        profile=args.profile,
+        scale=args.scale,
+        case_seed=args.case_seed,
+        time_limit=args.time_limit,
+    )
+    if args.json:
+        print(json.dumps(summary, indent=1))
+    else:
+        print(
+            f"chaos fuzz: {summary['ran']} plans ran, "
+            f"{summary['failed']} failed"
+        )
+        for errors in summary["errors"]:
+            print(f"FAIL {errors}", file=sys.stderr)
+        for path in summary["artifacts"]:
+            print(f"shrunken plan -> {path}")
+    return 0 if summary["failed"] == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -665,6 +760,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print a JSON summary"
     )
     check.set_defaults(func=_cmd_check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection: run a plan faulted-vs-"
+        "clean, fuzz seeded plans, or list hook sites",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_cmd", required=True)
+
+    def _add_chaos_case_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile", default="m0",
+            choices=("m0", "aes", "jpeg", "vga"),
+            help="workload benchmark profile",
+        )
+        p.add_argument(
+            "--scale", type=_positive_float, default=0.01,
+            help="workload instance-count scale",
+        )
+        p.add_argument(
+            "--case-seed", type=int, default=2,
+            help="workload design/placement seed",
+        )
+        p.add_argument(
+            "--time-limit", type=_positive_float, default=1.0,
+            help="per-window MILP time limit in seconds",
+        )
+        p.add_argument("--json", action="store_true")
+
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="run one fault plan faulted-vs-clean and assert the "
+        "invariant ladder",
+    )
+    chaos_run.add_argument(
+        "--plan", required=True, metavar="JSON",
+        help="fault plan file (schema repro.chaos.plan/v1)",
+    )
+    chaos_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the plan's trigger seed",
+    )
+    _add_chaos_case_args(chaos_run)
+    chaos_run.set_defaults(func=_cmd_chaos)
+
+    chaos_fuzz = chaos_sub.add_parser(
+        "fuzz",
+        help="run seeded random plans; shrink and save failures",
+    )
+    chaos_fuzz.add_argument(
+        "--plans", type=_positive_int, default=25, metavar="N",
+        help="number of seeded random plans to run",
+    )
+    chaos_fuzz.add_argument(
+        "--seed", type=int, default=0, help="fuzz seed"
+    )
+    chaos_fuzz.add_argument(
+        "--artifacts", default="", metavar="DIR",
+        help="write shrunken failing plans into DIR",
+    )
+    _add_chaos_case_args(chaos_fuzz)
+    chaos_fuzz.set_defaults(func=_cmd_chaos)
+
+    chaos_sites = chaos_sub.add_parser(
+        "sites", help="list fault-injection sites and their actions"
+    )
+    chaos_sites.set_defaults(func=_cmd_chaos)
     return parser
 
 

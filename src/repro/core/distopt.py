@@ -43,6 +43,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, replace
 
+from repro.chaos.inject import active_chaos
 from repro.core.dirty import DirtyTracker, dirty_write_for_moves
 from repro.core.formulation import probe_rect, window_slice
 from repro.core.objective import calculate_objective
@@ -125,6 +126,7 @@ def dist_opt(
     dirty: DirtyTracker | None = None,
     objective: float | None = None,
     audit: bool = False,
+    chaos=None,
 ) -> DistOptResult:
     """Run one DistOpt pass over the whole design.
 
@@ -168,6 +170,10 @@ def dist_opt(
             ``AssertionError`` if the delta-accounted value drifted
             more than :data:`DRIFT_TOLERANCE` from it (paranoia knob
             for tests and debugging).
+        chaos: optional :class:`~repro.chaos.inject.ChaosController`
+            for fault-injection runs; ``None`` (the default) falls
+            back to the thread-installed controller, and with neither
+            the hot path pays a single ``is None`` test per submit.
 
     Returns:
         A :class:`DistOptResult`; ``objective`` is the global
@@ -184,7 +190,9 @@ def dist_opt(
         schedule = ScheduleConfig.for_time_limit(
             getattr(solver, "time_limit", None)
         )
-    scheduler = FamilyScheduler(executor, schedule)
+    if chaos is None:
+        chaos = active_chaos()
+    scheduler = FamilyScheduler(executor, schedule, chaos=chaos)
     spec = SolverSpec.from_backend(solver)
 
     started = time.perf_counter()
@@ -251,6 +259,8 @@ def dist_opt(
         )
     result.wall_seconds = time.perf_counter() - started
     if telemetry is not None:
+        if chaos is not None:
+            telemetry.record_faults(chaos.drain_counts())
         telemetry.record_pass(
             pass_label,
             wall_seconds=result.wall_seconds,
@@ -470,6 +480,7 @@ def _run_family(
                     moved_cells=moved,
                     num_pairs=outcome.num_pairs,
                     error=outcome.error or outcome.apply_error,
+                    degraded=outcome.degraded,
                 )
             )
     result.modeled_parallel_seconds += slowest_path
@@ -491,7 +502,13 @@ def _absorb_spans(tracer, outcome: WindowTaskResult, status: str) -> None:
     the apply verdict (only the submitting side knows it) onto the
     window root span.  Runs in canonical task order, so the trace file
     is deterministic under any executor."""
-    if tracer is None or not outcome.spans:
+    if tracer is None:
+        return
+    if outcome.retry_spans:
+        # Failed attempts' spans first (already ``error:`` status) —
+        # a retried-then-recovered window keeps its failure history.
+        tracer.absorb(outcome.retry_spans)
+    if not outcome.spans:
         return
     root = outcome.spans[0]
     root.setdefault("attrs", {})["outcome"] = status

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.chaos.inject import barrier as chaos_barrier
 from repro.core.checkpoint import VM1Checkpoint
 from repro.core.dirty import DirtyTracker
 from repro.core.distopt import DistOptResult, dist_opt
@@ -197,6 +198,7 @@ def vm1_opt(
     )
     with run_span as run_span_obj:
         trace_ctx = current_context()
+        chaos_barrier("vm1:start")
         try:
             for u_index, u in enumerate(params.sequence):
                 if u_index < resume_u:
@@ -248,6 +250,7 @@ def vm1_opt(
                         _absorb(result, move_pass)
                         objective = move_pass.objective
                         _checkpoint(u_index, iteration, "move", pre)
+                        chaos_barrier(f"checkpoint:move[{label}]")
                         if progress is not None:
                             progress("move", move_pass)
                     if enable_flip and not skip_flip:
@@ -277,6 +280,7 @@ def vm1_opt(
                         _absorb(result, flip_pass)
                         objective = flip_pass.objective
                         _checkpoint(u_index, iteration, "flip", pre)
+                        chaos_barrier(f"checkpoint:flip[{label}]")
                         if progress is not None:
                             progress("flip", flip_pass)
                     result.iterations += 1

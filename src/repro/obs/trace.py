@@ -424,6 +424,19 @@ def current_context() -> tuple[str, str | None] | None:
     return (tracer.trace_id, tracer.root_parent_id)
 
 
+def current_span_names() -> tuple[str, ...]:
+    """Names of the spans open on this thread, outermost first.
+
+    Cheap introspection for callers that predicate on *where* they
+    are in the trace tree (e.g. chaos span-match triggers) without
+    holding span objects; empty when tracing is off.
+    """
+    stack = getattr(_TLS, "stack", None)
+    if not stack:
+        return ()
+    return tuple(s.name for s in stack)
+
+
 class collecting:
     """Worker-side span collection seeded from a shipped context.
 

@@ -11,8 +11,14 @@ pass):
   to ``max_retries`` extra attempts, then recorded as failed;
 * per-task timeout — recorded as timed out, never retried (it would
   almost certainly time out again) and its eventual result discarded;
-* executor breakdown (e.g. a killed process pool) — every remaining
-  task in the family is recorded as failed.
+* executor breakdown (e.g. a killed process pool) — remaining tasks
+  are run inline in the scheduler thread (serial fallback), marked
+  ``degraded`` so telemetry can count the fallback.
+
+When a :class:`~repro.chaos.inject.ChaosController` is attached, the
+scheduler *arms* worker/solver faults here — in the single-threaded
+submit loop — and ships the directive on the task itself, so fault
+placement is deterministic under any executor.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
-from repro.runtime.executors import Executor
+from repro.runtime.executors import Executor, _run_task
 from repro.runtime.task import WindowTask, WindowTaskResult
 
 from repro.log import subsystem_logger
@@ -66,9 +72,15 @@ class FamilyScheduler:
         self,
         executor: Executor,
         config: ScheduleConfig | None = None,
+        *,
+        chaos=None,
     ) -> None:
         self.executor = executor
         self.config = config or ScheduleConfig()
+        #: optional :class:`~repro.chaos.inject.ChaosController`;
+        #: None (production default) adds one ``is None`` test per
+        #: submit.
+        self.chaos = chaos
 
     def run_family(
         self, tasks: list[WindowTask]
@@ -79,29 +91,44 @@ class FamilyScheduler:
         """
         results: dict[int, WindowTaskResult] = {}
         attempts = {task.task_id: 0 for task in tasks}
+        stashed_spans: dict[int, list[dict]] = {}
         queue = list(tasks)
         while queue:
-            in_flight: list[tuple[WindowTask, Future | None, float]] = []
+            in_flight: list[
+                tuple[WindowTask, Future, float, bool]
+            ] = []
             for task in queue:
                 attempts[task.task_id] += 1
-                try:
-                    future = self.executor.submit(task)
-                except Exception as exc:  # noqa: BLE001 — broken pool
-                    future = None
-                    results[task.task_id] = WindowTaskResult(
-                        task_id=task.task_id,
-                        attempts=attempts[task.task_id],
-                        error=f"submit failed: {exc!r}",
+                armed = task
+                if self.chaos is not None:
+                    armed = self.chaos.arm_task(
+                        task, attempt=attempts[task.task_id]
                     )
+                degraded = False
+                try:
+                    future = self.executor.submit(armed)
+                except Exception as exc:  # noqa: BLE001 — broken pool
+                    # A broken pool re-raises its *first* worker's
+                    # death at every subsequent submit; recording
+                    # that as the task's permanent failure would pin
+                    # one historical exception on windows that solve
+                    # fine serially.  Degrade instead: run the task
+                    # inline in the scheduler thread.
+                    logger.warning(
+                        "executor refused window (%d,%d) (%r) — "
+                        "running inline",
+                        task.ix, task.iy, exc,
+                    )
+                    future = self._inline_future(armed)
+                    degraded = True
                 in_flight.append(
-                    (task, future, time.perf_counter())
+                    (task, future, time.perf_counter(), degraded)
                 )
             retry: list[WindowTask] = []
-            for task, future, submitted in in_flight:
-                if future is None:
-                    continue
+            for task, future, submitted, degraded in in_flight:
                 result = self._collect(task, future, submitted)
                 result.attempts = attempts[task.task_id]
+                result.degraded = degraded
                 if (
                     result.error
                     and not result.timed_out
@@ -114,11 +141,33 @@ class FamilyScheduler:
                         task.ix, task.iy,
                         attempts[task.task_id], result.error,
                     )
+                    if result.spans:
+                        # Keep the failed attempt's error spans: the
+                        # final result carries them so a recovered
+                        # window still shows what went wrong.
+                        stashed_spans.setdefault(
+                            task.task_id, []
+                        ).extend(result.spans)
                     retry.append(task)
                     continue
+                if stashed_spans.get(task.task_id):
+                    result.retry_spans = tuple(
+                        stashed_spans[task.task_id]
+                    )
                 results[task.task_id] = result
             queue = retry
         return results
+
+    @staticmethod
+    def _inline_future(task: WindowTask) -> Future:
+        """Serial-fallback attempt as an already-resolved future, so
+        the collect/retry path treats it like any other."""
+        future: Future = Future()
+        try:
+            future.set_result(_run_task(task))
+        except BaseException as exc:  # noqa: BLE001 — worker boundary
+            future.set_exception(exc)
+        return future
 
     def _collect(
         self, task: WindowTask, future: Future, submitted: float

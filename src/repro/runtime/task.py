@@ -129,6 +129,14 @@ class WindowTaskResult:
     #: carried a trace context; the submitting side absorbs them in
     #: canonical task order (see :mod:`repro.obs.trace`).
     spans: tuple[dict, ...] = ()
+    #: the scheduler ran this task inline after the executor refused
+    #: it (broken pool) — graceful serial degradation, counted in
+    #: telemetry as ``repro_run_degradations_total``.
+    degraded: bool = False
+    #: span dicts from earlier failed attempts of the same task, so a
+    #: retried-then-recovered window still shows its ``error:`` spans
+    #: in the trace.
+    retry_spans: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -174,6 +182,10 @@ class WindowTask:
             the timings it already measures and returns them in
             ``WindowTaskResult.spans``.  ``None`` (tracing off) adds
             zero work to the hot path.
+        chaos: armed fault directive ``(site, action, seconds)`` set
+            by the scheduler when a fault plan targets this task (see
+            :mod:`repro.chaos.inject`); ``None`` — the default and
+            the only production value — costs one ``is None`` test.
     """
 
     task_id: int
@@ -193,6 +205,7 @@ class WindowTask:
     num_pairs: int = 0
     presolve: bool = True
     trace: tuple[str, str | None] | None = None
+    chaos: tuple | None = None
 
     @classmethod
     def from_problem(
@@ -256,14 +269,41 @@ class WindowTask:
     def run(self) -> WindowTaskResult:
         """Execute the task; when a trace context rides along, attach
         synthesized span dicts to the result (see :meth:`_make_spans`)."""
+        if self.chaos is not None:
+            from repro.chaos.inject import maybe_crash_worker
+
+            maybe_crash_worker(self.chaos)
         if self.trace is None:
-            return self._run()
+            result = self._run()
+            if self.chaos is not None:
+                result = self._fault_result(result)
+            return result
         started_at = time.time()
         c0 = time.thread_time()
         result = self._run()
+        # Result faults apply before span synthesis so a lost result
+        # still leaves an ``error:solve`` span in the trace.
+        if self.chaos is not None:
+            result = self._fault_result(result)
         result.spans = self._make_spans(
             result, started_at, time.thread_time() - c0
         )
+        return result
+
+    def _fault_result(self, result: WindowTaskResult) -> WindowTaskResult:
+        """Apply an armed ``runtime.result`` directive to the outcome."""
+        site, action, _seconds = self.chaos
+        if site != "runtime.result":
+            return result
+        if action == "lost":
+            return WindowTaskResult(
+                task_id=self.task_id,
+                error="chaos: result lost in transit",
+            )
+        if action == "poison":
+            from repro.chaos.inject import PoisonPill
+
+            result.solution = PoisonPill()
         return result
 
     def _make_spans(
@@ -362,6 +402,10 @@ class WindowTask:
         num_pairs = self.num_pairs
         problem = None
         try:
+            if self.chaos is not None:
+                from repro.chaos.inject import maybe_raise_worker
+
+                maybe_raise_worker(self.chaos)
             backend = self.solver.build()
             model = self.model
             if model is None:
@@ -399,6 +443,10 @@ class WindowTask:
             solution = backend.solve(model)
             if reduction is not None:
                 solution = reduction.lift(solution)
+            if self.chaos is not None:
+                from repro.chaos.inject import fault_solution
+
+                solution = fault_solution(self.chaos, solution)
         except Exception as exc:  # noqa: BLE001 — worker boundary
             overhead = build_seconds + presolve_seconds
             return WindowTaskResult(
@@ -426,6 +474,19 @@ class WindowTask:
             # without an incumbent is a timeout, not a transient
             # failure — retrying it would just burn the budget again.
             timed_out = "time limit" in error.lower()
+        elif problem is not None and solution.status in (
+            SolveStatus.INFEASIBLE,
+            SolveStatus.UNBOUNDED,
+        ):
+            # Window models always admit the identity assignment, so
+            # an infeasible/unbounded verdict in slice mode is a
+            # solver fault, not a property of the problem — surface
+            # it as a retryable error instead of silently dropping
+            # the window.
+            error = (
+                f"solver returned {solution.status.value} for a "
+                f"window model"
+            )
         moves = None
         apply_error = ""
         if (

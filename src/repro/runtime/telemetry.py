@@ -67,6 +67,9 @@ class WindowRecord:
     moved_cells: int = 0
     num_pairs: int = 0
     error: str = ""
+    #: the window's final attempt ran inline after the executor
+    #: refused it (serial fallback).
+    degraded: bool = False
 
 
 def modeled_parallel_seconds(records: list[WindowRecord]) -> float:
@@ -119,6 +122,25 @@ class RunTelemetry:
             "repro_run_window_solve_seconds",
             "Per-window solve time distribution.",
         ).observe(record.solve_seconds)
+        # Recovery counters are created lazily so clean runs keep the
+        # exact v4 counter set they had before the chaos tier.
+        if record.attempts > 1:
+            self.registry.counter(
+                "repro_run_retries_total",
+                "Extra window-solve attempts after failures.",
+            ).inc(record.attempts - 1)
+        if record.degraded:
+            self.registry.counter(
+                "repro_run_degradations_total",
+                "Windows that fell back to a degraded path.",
+                ("kind",),
+            ).inc(kind="serial_fallback")
+        elif record.status in ("failed", "no_solution", "timed_out"):
+            self.registry.counter(
+                "repro_run_degradations_total",
+                "Windows that fell back to a degraded path.",
+                ("kind",),
+            ).inc(kind=record.status)
         logger.debug(
             "window %s family=%d (%d,%d) status=%s build=%.3fs "
             "queue=%.3fs solve=%.3fs attempts=%d",
@@ -126,6 +148,23 @@ class RunTelemetry:
             record.status, record.build_seconds, record.queue_seconds,
             record.solve_seconds, record.attempts,
         )
+
+    def record_faults(self, counts: dict) -> None:
+        """Fold injected-fault counts (per site) into the registry.
+
+        Called by the engine when a chaos controller is attached;
+        no-op for empty counts, so clean runs never materialize the
+        counter.
+        """
+        if not counts:
+            return
+        counter = self.registry.counter(
+            "repro_run_faults_injected_total",
+            "Faults injected by the chaos harness, by site.",
+            ("site",),
+        )
+        for site, count in counts.items():
+            counter.inc(count, site=site)
 
     def record_pass(
         self,

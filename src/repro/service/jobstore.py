@@ -44,6 +44,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.checkpoint import VM1Checkpoint
+from repro.log import subsystem_logger
+
+logger = subsystem_logger("repro.service")
 
 #: Schema identifier written into every job record.
 JOB_SCHEMA = "repro.service.job/v1"
@@ -115,25 +118,55 @@ class JobRecord:
         )
 
 
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` crash-safely (temp + fsync + rename)."""
+def atomic_write_text(path: Path, text: str, *, chaos=None) -> None:
+    """Write ``text`` to ``path`` crash-safely (temp + fsync + rename).
+
+    ``chaos`` is an optional fault controller: the ``fs.fsync`` site
+    models a durability syscall failing mid-write.  The temp file is
+    removed on any failure so a faulted write leaves no debris (and
+    crucially leaves the *previous* document intact — the rename
+    never happens).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            if (
+                chaos is not None
+                and chaos.check("fs.fsync", path.name) is not None
+            ):
+                raise OSError(f"chaos: fsync failed for {path.name}")
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 class JobStore:
     """Journal of jobs under one root directory (single-writer)."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, chaos=None) -> None:
         self.root = Path(root)
         self.jobs_root = self.root / "jobs"
         self.jobs_root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        #: last issued id timestamp (ms) — bumped so ids stay strictly
+        #: monotonic even when two submits land in the same millisecond
+        #: (the uuid suffix would otherwise order them randomly and
+        #: break claim_next's FIFO promise).
+        self._last_id_ms = 0
+        #: optional fault controller driving the ``jobstore.*`` /
+        #: ``fs.fsync`` injection sites.  Deliberately NOT applied to
+        #: ``job.json`` writes: the job record is the ledger recovery
+        #: itself depends on — faulting it models a broken disk, not
+        #: a crash, and is out of scope for the chaos tier.
+        self.chaos = chaos
 
     # ------------------------------------------------------- layout
     def job_dir(self, job_id: str) -> Path:
@@ -170,9 +203,11 @@ class JobStore:
     def submit(self, kind: str, spec: dict) -> JobRecord:
         """Journal a new queued job; returns its record."""
         with self._lock:
-            job_id = (
-                f"{int(time.time() * 1000):013d}-{uuid.uuid4().hex[:8]}"
+            now_ms = max(
+                int(time.time() * 1000), self._last_id_ms + 1
             )
+            self._last_id_ms = now_ms
+            job_id = f"{now_ms:013d}-{uuid.uuid4().hex[:8]}"
             record = JobRecord(
                 job_id=job_id,
                 kind=kind,
@@ -313,6 +348,17 @@ class JobStore:
         """Append one progress event (stamped with ``ts``)."""
         event = {"ts": time.time(), **event}
         line = json.dumps(event) + "\n"
+        if (
+            self.chaos is not None
+            and self.chaos.check(
+                "jobstore.event", str(event.get("type", ""))
+            )
+            is not None
+        ):
+            # Torn write: the process died mid-append, leaving half a
+            # line.  Readers must skip it without losing earlier
+            # events.
+            line = line[: max(1, len(line) // 2)]
         with self._lock:
             with open(
                 self._events_path(job_id), "a", encoding="utf-8"
@@ -338,18 +384,45 @@ class JobStore:
         self, job_id: str, checkpoint: VM1Checkpoint
     ) -> Path:
         path = self.checkpoint_path(job_id)
-        atomic_write_text(path, checkpoint.dumps())
+        text = checkpoint.dumps()
+        if (
+            self.chaos is not None
+            and self.chaos.check("jobstore.checkpoint", job_id)
+            is not None
+        ):
+            # Torn checkpoint: bypass the atomic path and leave a
+            # truncated document, as if the kernel never flushed the
+            # tail.  ``load_checkpoint`` must treat it as absent.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text[: len(text) // 2])
+            return path
+        atomic_write_text(path, text, chaos=self.chaos)
         return path
 
     def load_checkpoint(self, job_id: str) -> VM1Checkpoint | None:
+        """The journaled checkpoint, or None when absent *or torn*.
+
+        A checkpoint is an optimization, never ground truth: an
+        undecodable document (torn write, stray corruption) degrades
+        to a from-scratch run instead of wedging recovery.
+        """
         path = self.checkpoint_path(job_id)
         if not path.exists():
             return None
-        return VM1Checkpoint.loads(path.read_text())
+        try:
+            return VM1Checkpoint.loads(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            logger.warning(
+                "job %s: unreadable checkpoint (%s) — starting over",
+                job_id, exc,
+            )
+            return None
 
     def write_result(self, job_id: str, result: dict) -> Path:
         path = self.result_path(job_id)
-        atomic_write_text(path, json.dumps(result, indent=1))
+        atomic_write_text(
+            path, json.dumps(result, indent=1), chaos=self.chaos
+        )
         return path
 
     def load_result(self, job_id: str) -> dict | None:
@@ -360,7 +433,9 @@ class JobStore:
 
     def write_telemetry(self, job_id: str, summary: dict) -> Path:
         path = self.telemetry_path(job_id)
-        atomic_write_text(path, json.dumps(summary, indent=1))
+        atomic_write_text(
+            path, json.dumps(summary, indent=1), chaos=self.chaos
+        )
         return path
 
     def load_telemetry(self, job_id: str) -> dict | None:
@@ -373,5 +448,5 @@ class JobStore:
         self, job_id: str, name: str, text: str
     ) -> Path:
         path = self.artifact_path(job_id, name)
-        atomic_write_text(path, text)
+        atomic_write_text(path, text, chaos=self.chaos)
         return path

@@ -64,6 +64,7 @@ _LIFECYCLE_EVENTS = (
     "shards_completed",
     "seam_passes",
     "windows_skipped_clean",
+    "checkpoint_write_failures",
 )
 
 
@@ -423,6 +424,29 @@ class JobManager:
         # means "resume" (finished shards fast-forward).
         shard_dir = self.store.job_dir(job_id) / "shards"
         shard_resume = (shard_dir / "plan.json").exists()
+
+        def checkpoint_sink(cp) -> None:
+            # A checkpoint is an optimization, not ground truth: a
+            # failed write (full disk, fsync error) must not kill a
+            # healthy job.  Count it, journal it, keep running — the
+            # worst case is resuming from the previous checkpoint.
+            try:
+                self.store.write_checkpoint(job_id, cp)
+            except OSError as exc:
+                self._lifecycle.inc(event="checkpoint_write_failures")
+                self.store.append_event(
+                    job_id,
+                    {
+                        "type": "checkpoint_write_failed",
+                        "error": str(exc),
+                    },
+                )
+                logger.warning(
+                    "job %s: checkpoint write failed (%s) — "
+                    "continuing without it",
+                    job_id, exc,
+                )
+
         try:
             with tracer_scope(tracer) if tracer is not None else (
                 nullcontext()
@@ -430,11 +454,7 @@ class JobManager:
                 result = run_flow(
                     config,
                     progress=progress,
-                    checkpoint_sink=(
-                        lambda cp: self.store.write_checkpoint(
-                            job_id, cp
-                        )
-                    ),
+                    checkpoint_sink=checkpoint_sink,
                     resume=resume,
                     shard_checkpoint_dir=shard_dir,
                     shard_resume=shard_resume,

@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.chaos.inject import active_chaos
+from repro.chaos.inject import barrier as chaos_barrier
 from repro.core.checkpoint import VM1Checkpoint
 from repro.core.objective import calculate_objective
 from repro.core.params import OptParams
@@ -160,8 +162,27 @@ class ShardTask:
     #: ``(trace_id, parent_span_id)`` from the submitting side; the
     #: worker collects its whole ``vm1_opt`` span subtree under it.
     trace: tuple[str, str | None] | None = None
+    #: serialized :class:`~repro.chaos.plan.FaultPlan` document; the
+    #: worker rebuilds a local controller from it (controllers do not
+    #: cross process boundaries), so shard-level faults — mid-shard
+    #: death at ``shard:<n>:start``/``shard:<n>:done`` barriers, plus
+    #: every window-level site inside the shard's vm1_opt — fire
+    #: deterministically under any executor.
+    chaos: dict | None = None
 
     def run(self) -> ShardOutcome:
+        if self.chaos is None:
+            return self._execute()
+        from repro.chaos.inject import ChaosController, chaos_scope
+        from repro.chaos.plan import FaultPlan
+
+        controller = ChaosController(
+            plan=FaultPlan.from_dict(self.chaos)
+        )
+        with chaos_scope(controller):
+            return self._execute()
+
+    def _execute(self) -> ShardOutcome:
         design: Design = pickle.loads(self.design_blob)
         resume = (
             VM1Checkpoint.from_dict(self.resume_doc)
@@ -175,6 +196,7 @@ class ShardTask:
             def sink(cp: VM1Checkpoint) -> None:
                 _atomic_write(Path(path), cp.dumps())
 
+        chaos_barrier(f"shard:{self.index}:start")
         started = time.perf_counter()
         with collecting(self.trace) as trace_collector:
             with span("shard", index=self.index):
@@ -192,6 +214,9 @@ class ShardTask:
                         resume=resume,
                     )
         wall = time.perf_counter() - started
+        # After the work, before the outcome crosses back: a death
+        # here loses the shard's result but not its checkpoints.
+        chaos_barrier(f"shard:{self.index}:done")
         return ShardOutcome(
             index=self.index,
             placements={
@@ -532,10 +557,31 @@ def run_sharded(
         nets = classify_nets(design, plan)
     initial = calculate_objective(design, params)
 
+    chaos = active_chaos()
     store: ShardCheckpointStore | None = None
     resuming = False
     if checkpoint_dir is not None:
         store = ShardCheckpointStore(checkpoint_dir)
+        if (
+            chaos is not None
+            and chaos.check("shard.plan", design.name) is not None
+        ):
+            # Stale fingerprint: the checkpoint dir was left by some
+            # other run.  ``begin(resume=True)`` must refuse it
+            # instead of silently mixing two runs' shard state.
+            _atomic_write(
+                store._plan_path(),
+                json.dumps(
+                    {
+                        "schema": PLAN_SCHEMA,
+                        "design": f"{design.name}::stale",
+                        "instances": -1,
+                        "shards": -1,
+                        "halo_rows": -1,
+                    },
+                    indent=1,
+                ),
+            )
         resuming = store.begin(
             design, len(plan), halo_rows, resume=resume
         )
@@ -599,6 +645,11 @@ def run_sharded(
                     else None
                 ),
                 trace=trace_ctx,
+                chaos=(
+                    chaos.plan.to_dict()
+                    if chaos is not None
+                    else None
+                ),
             )
         )
 

@@ -1,0 +1,128 @@
+"""Subprocess half of the SIGKILL matrix test.
+
+Modes (argv[1]):
+
+* ``census <out>`` — run VM1Opt clean with a never-firing controller
+  installed, dump the named barriers it passed and the final
+  placement snapshot to ``<out>/census.json``.
+* ``kill <out> <barrier>`` — run with a ``barrier: kill`` rule
+  matching ``<barrier>`` exactly, persisting every checkpoint to
+  ``<out>/checkpoint.json``; the process dies by SIGKILL mid-run.
+* ``resume <out>`` — run with no chaos, resuming from
+  ``<out>/checkpoint.json`` if present; dump the final snapshot to
+  ``<out>/resumed.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.chaos import (
+    ChaosController,
+    FaultPlan,
+    FaultRule,
+    chaos_scope,
+)
+from repro.core import OptParams
+from repro.core.checkpoint import VM1Checkpoint
+from repro.core.vm1opt import vm1_opt
+from repro.library import build_library
+from repro.netlist import generate_design
+from repro.placement import place_design
+from repro.tech import CellArchitecture, make_tech
+
+
+def snapshot_doc(design) -> dict:
+    """JSON-safe placement snapshot (orientations stringified)."""
+    return {
+        name: [value[0], value[1], str(value[2])]
+        for name, value in design.placement_snapshot().items()
+    }
+
+
+def make_design():
+    tech = make_tech(CellArchitecture.CLOSED_M1)
+    library = build_library(tech)
+    design = generate_design("m0", tech, library, scale=0.01, seed=2)
+    place_design(design, seed=3)
+    return design
+
+
+def main() -> int:
+    mode = sys.argv[1]
+    out = Path(sys.argv[2])
+    out.mkdir(parents=True, exist_ok=True)
+    design = make_design()
+    params = OptParams.for_arch(
+        design.tech.arch, time_limit=1.0
+    )
+    ckpt_path = out / "checkpoint.json"
+
+    if mode == "census":
+        controller = ChaosController(
+            plan=FaultPlan(
+                seed=0,
+                faults=(
+                    FaultRule(
+                        site="barrier", action="raise", nth=10**9
+                    ),
+                ),
+            )
+        )
+        with chaos_scope(controller):
+            vm1_opt(design, params)
+        barriers = [
+            name
+            for site, name in controller.observed
+            if site == "barrier"
+        ]
+        (out / "census.json").write_text(
+            json.dumps(
+                {
+                    "barriers": barriers,
+                    "snapshot": snapshot_doc(design),
+                }
+            )
+        )
+        return 0
+
+    if mode == "kill":
+        barrier_name = sys.argv[3]
+        controller = ChaosController(
+            plan=FaultPlan(
+                seed=0,
+                faults=(
+                    FaultRule(
+                        site="barrier", action="kill", nth=1,
+                        match=barrier_name,
+                    ),
+                ),
+            )
+        )
+        with chaos_scope(controller):
+            vm1_opt(
+                design,
+                params,
+                checkpoint_sink=lambda cp: cp.save(ckpt_path),
+            )
+        print(f"kill at {barrier_name!r} never fired", file=sys.stderr)
+        return 3
+
+    # resume
+    resume = (
+        VM1Checkpoint.load(ckpt_path) if ckpt_path.exists() else None
+    )
+    vm1_opt(
+        design,
+        params,
+        checkpoint_sink=lambda cp: cp.save(ckpt_path),
+        resume=resume,
+    )
+    (out / "resumed.json").write_text(
+        json.dumps(snapshot_doc(design))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

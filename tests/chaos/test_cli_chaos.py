@@ -1,0 +1,144 @@
+"""CLI error paths: every bad input exits 2 with ONE line on stderr
+and no traceback (satellite of the chaos PR)."""
+
+import json
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultRule
+from repro.cli import main
+
+
+def chaos_plan(tmp_path, **rule_kw):
+    rule_kw.setdefault("site", "milp.solve")
+    rule_kw.setdefault("action", "error")
+    rule_kw.setdefault("nth", 1)
+    plan = FaultPlan(seed=2, faults=(FaultRule(**rule_kw),))
+    return str(plan.save(tmp_path / "plan.json"))
+
+
+def assert_one_line_no_traceback(captured):
+    assert "Traceback" not in captured.err
+    assert len(captured.err.strip().splitlines()) <= 2
+
+
+def test_invalid_shards_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["flow", "--shards", "0"])
+    assert exc_info.value.code == 2
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "--shards" in captured.err
+
+
+def test_non_numeric_shards_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["flow", "--shards", "many"])
+    assert exc_info.value.code == 2
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_unknown_axes_exits_2(capsys):
+    assert main(["check", "--axes", "brute,bogus"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown axes" in captured.err
+    assert "bogus" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_malformed_telemetry_path_exits_2(capsys):
+    code = main(
+        ["flow", "--telemetry", "/no/such/directory/telemetry.json"]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "--telemetry" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_telemetry_path_that_is_a_directory_exits_2(tmp_path, capsys):
+    code = main(["flow", "--telemetry", str(tmp_path)])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "directory" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_chaos_run_missing_plan_exits_2(capsys):
+    code = main(
+        ["chaos", "run", "--plan", "/no/such/plan.json"]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "not found" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_chaos_run_invalid_json_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["chaos", "run", "--plan", str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "invalid chaos plan" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_chaos_run_wrong_schema_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope/v9", "faults": []}))
+    assert main(["chaos", "run", "--plan", str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "invalid chaos plan" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_chaos_run_unknown_site_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        json.dumps(
+            {
+                "schema": "repro.chaos.plan/v1",
+                "faults": [
+                    {"site": "runtime.bogus", "action": "raise",
+                     "nth": 1}
+                ],
+            }
+        )
+    )
+    assert main(["chaos", "run", "--plan", str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "unknown site" in captured.err
+    assert_one_line_no_traceback(captured)
+
+
+def test_chaos_sites_lists_inventory(capsys):
+    from repro.chaos import SITES
+
+    assert main(["chaos", "sites"]) == 0
+    out = capsys.readouterr().out
+    for site in SITES:
+        assert site in out
+
+
+def test_chaos_run_happy_path_json(tmp_path, capsys):
+    plan = chaos_plan(tmp_path)
+    code = main(["chaos", "run", "--plan", plan, "--json"])
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    doc = json.loads(captured.out)
+    assert doc["converged"] is True
+    assert doc["fires"] == {"milp.solve": 1}
+
+
+def test_chaos_fuzz_smoke(tmp_path, capsys):
+    code = main(
+        [
+            "chaos", "fuzz", "--plans", "2", "--seed", "1",
+            "--artifacts", str(tmp_path / "artifacts"), "--json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    doc = json.loads(captured.out)
+    assert doc["ran"] == 2
+    assert doc["failed"] == 0

@@ -1,0 +1,42 @@
+"""Every committed corpus plan must climb the full invariant ladder:
+fault fires, byte-identical convergence, telemetry + trace visibility."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import FaultPlan
+from repro.chaos.runner import run_chaos_case
+
+CORPUS = Path(__file__).parent / "corpus"
+PLANS = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(PLANS) >= 8, (
+        "the committed chaos corpus must cover the fault families"
+    )
+
+
+@pytest.mark.parametrize("path", PLANS, ids=lambda p: p.stem)
+def test_corpus_plan_converges_byte_identically(path):
+    plan = FaultPlan.load(path)
+    result = run_chaos_case(plan)
+    assert result.converged, result.errors
+    assert result.fires, "corpus plans must actually fire"
+
+
+def test_vacuous_plan_fails_loudly():
+    from repro.chaos import FaultRule
+
+    plan = FaultPlan(
+        seed=2,
+        faults=(
+            FaultRule(
+                site="barrier", action="raise", nth=10**6
+            ),
+        ),
+    )
+    result = run_chaos_case(plan)
+    assert not result.converged
+    assert any("vacuous" in error for error in result.errors)

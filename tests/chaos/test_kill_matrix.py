@@ -1,0 +1,71 @@
+"""SIGKILL-at-every-named-barrier matrix (nightly tier).
+
+For each barrier a real VM1Opt run passes, a subprocess is SIGKILLed
+exactly there (via a ``barrier: kill`` chaos rule — ``os.kill`` with
+``SIGKILL``, no cleanup handlers run), then a plain resume from the
+persisted checkpoint must reproduce the uninterrupted placement byte
+for byte."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+# Each matrix entry is a kill + resume subprocess pair; nightly tier.
+pytestmark = pytest.mark.slow
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+_HELPER = Path(__file__).parent / "_kill_flow.py"
+
+
+def run_helper(mode, out, barrier=None, timeout=300):
+    argv = [sys.executable, str(_HELPER), mode, str(out)]
+    if barrier is not None:
+        argv.append(barrier)
+    return subprocess.run(
+        argv,
+        env={**os.environ, "PYTHONPATH": _SRC},
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture(scope="module")
+def census(tmp_path_factory):
+    out = tmp_path_factory.mktemp("census")
+    proc = run_helper("census", out)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads((out / "census.json").read_text())
+
+
+def test_census_finds_named_barriers(census):
+    names = census["barriers"]
+    assert any(n == "vm1:start" for n in names)
+    assert any(n.startswith("checkpoint:move[") for n in names)
+    assert any(n.startswith("checkpoint:flip[") for n in names)
+
+
+def test_sigkill_at_every_barrier_resumes_byte_identically(
+    census, tmp_path
+):
+    clean = json.dumps(census["snapshot"], sort_keys=True)
+    # first occurrence of each distinct barrier name, census order
+    barriers = list(dict.fromkeys(census["barriers"]))
+    assert barriers
+    for index, name in enumerate(barriers):
+        out = tmp_path / f"barrier{index}"
+        killed = run_helper("kill", out, barrier=name)
+        assert killed.returncode == -signal.SIGKILL, (
+            name, killed.returncode, killed.stderr,
+        )
+        resumed = run_helper("resume", out)
+        assert resumed.returncode == 0, (name, resumed.stderr)
+        snapshot = json.loads((out / "resumed.json").read_text())
+        assert json.dumps(snapshot, sort_keys=True) == clean, (
+            f"divergence after SIGKILL at {name}"
+        )

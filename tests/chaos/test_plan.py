@@ -1,0 +1,116 @@
+"""FaultPlan/FaultRule: validation, JSON round-trip, error quality."""
+
+import pytest
+
+from repro.chaos import (
+    PLAN_SCHEMA,
+    SITES,
+    ChaosPlanError,
+    FaultPlan,
+    FaultRule,
+)
+
+
+def rule(**kw):
+    kw.setdefault("site", "runtime.worker")
+    kw.setdefault("action", "raise")
+    kw.setdefault("nth", 1)
+    return FaultRule(**kw)
+
+
+def test_every_site_action_pair_validates():
+    for site, actions in SITES.items():
+        for action in actions:
+            FaultRule(site=site, action=action, nth=1).validate()
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ChaosPlanError, match="unknown site"):
+        rule(site="runtime.bogus").validate()
+
+
+def test_unsupported_action_rejected():
+    with pytest.raises(ChaosPlanError, match="does not support"):
+        rule(site="milp.solve", action="poison").validate()
+
+
+def test_rule_without_trigger_rejected():
+    with pytest.raises(ChaosPlanError, match="no trigger"):
+        FaultRule(site="barrier", action="raise").validate()
+
+
+def test_probability_out_of_range_rejected():
+    with pytest.raises(ChaosPlanError, match="probability"):
+        rule(nth=0, probability=1.5).validate()
+
+
+def test_negative_counters_rejected():
+    with pytest.raises(ChaosPlanError):
+        rule(nth=-1).validate()
+    with pytest.raises(ChaosPlanError):
+        rule(max_fires=-1).validate()
+    with pytest.raises(ChaosPlanError):
+        rule(seconds=0.0).validate()
+
+
+def test_plan_requires_faults():
+    with pytest.raises(ChaosPlanError, match="no faults"):
+        FaultPlan(seed=1).validate()
+
+
+def test_roundtrip_via_json():
+    plan = FaultPlan(
+        seed=42,
+        faults=(
+            rule(nth=3, match="checkpoint:"),
+            rule(
+                site="milp.solve", action="error",
+                nth=0, probability=0.25, max_fires=2,
+            ),
+        ),
+        run={"executor": "process", "jobs": 2},
+    )
+    again = FaultPlan.loads(plan.dumps())
+    assert again == plan
+    assert plan.to_dict()["schema"] == PLAN_SCHEMA
+
+
+def test_to_dict_omits_defaults():
+    doc = rule().to_dict()
+    assert doc == {
+        "site": "runtime.worker", "action": "raise", "nth": 1
+    }
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ChaosPlanError, match="unknown fault key"):
+        FaultRule.from_dict(
+            {"site": "barrier", "action": "raise", "nht": 1}
+        )
+    with pytest.raises(ChaosPlanError, match="unknown plan key"):
+        FaultPlan.from_dict(
+            {"schema": PLAN_SCHEMA, "faults": [], "extra": 1}
+        )
+
+
+def test_from_dict_rejects_wrong_schema():
+    with pytest.raises(ChaosPlanError, match="unsupported plan schema"):
+        FaultPlan.from_dict({"schema": "nope/v9", "faults": []})
+
+
+def test_loads_rejects_non_json():
+    with pytest.raises(ChaosPlanError, match="not valid JSON"):
+        FaultPlan.loads("{broken")
+
+
+def test_save_load_file_roundtrip(tmp_path):
+    plan = FaultPlan(seed=7, faults=(rule(),))
+    path = plan.save(tmp_path / "sub" / "plan.json")
+    assert FaultPlan.load(path) == plan
+
+
+def test_with_seed_preserves_rules():
+    plan = FaultPlan(seed=1, faults=(rule(),))
+    reseeded = plan.with_seed(9)
+    assert reseeded.seed == 9
+    assert reseeded.faults == plan.faults

@@ -1,0 +1,89 @@
+"""Service-layer chaos: a real managed job survives injected
+fsync failures and torn checkpoints."""
+
+import time
+
+import pytest
+
+from repro.chaos import ChaosController, FaultPlan, FaultRule
+from repro.service import JobManager, JobState, JobStore
+
+QUICK_SPEC = {
+    "profile": "m0",
+    "scale": 0.01,
+    "window_um": 1.0,
+    "time_limit": 1.0,
+    "seed": 2,
+}
+
+
+def wait_terminal(store, job_id, timeout=120):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        record = store.get(job_id)
+        if record.state.terminal:
+            return record
+        time.sleep(0.05)
+    pytest.fail(f"job {job_id} did not finish in {timeout}s")
+
+
+def run_job(tmp_path, chaos):
+    store = JobStore(tmp_path / "root", chaos=chaos)
+    manager = JobManager(store, workers=1, poll_interval=0.02)
+    manager.start()
+    try:
+        record = store.submit("flow", QUICK_SPEC)
+        final = wait_terminal(store, record.job_id)
+    finally:
+        manager.shutdown(timeout=60)
+    return store, manager, final
+
+
+def test_fsync_failures_do_not_kill_the_job(tmp_path):
+    chaos = ChaosController(
+        plan=FaultPlan(
+            seed=0,
+            faults=(
+                FaultRule(
+                    site="fs.fsync", action="fail", every=1,
+                    match="checkpoint.json",
+                ),
+            ),
+        )
+    )
+    store, manager, final = run_job(tmp_path, chaos)
+    assert final.state is JobState.DONE, final.error
+    assert chaos.total_fires() > 0
+    counters = manager.counters
+    assert counters["checkpoint_write_failures"] == (
+        chaos.total_fires()
+    )
+    types = [e["type"] for e in store.read_events(final.job_id)]
+    assert "checkpoint_write_failed" in types
+    # the job's deliverables are all intact
+    assert store.load_result(final.job_id) is not None
+    assert store.artifact_path(final.job_id, "post.def").exists()
+
+
+def test_torn_checkpoint_does_not_kill_the_job(tmp_path):
+    chaos = ChaosController(
+        plan=FaultPlan(
+            seed=0,
+            faults=(
+                FaultRule(
+                    site="jobstore.checkpoint", action="torn", nth=1
+                ),
+            ),
+        )
+    )
+    store, _manager, final = run_job(tmp_path, chaos)
+    assert final.state is JobState.DONE, final.error
+    assert chaos.total_fires() == 1
+    # a torn checkpoint reads as absent, never as an exception
+    store.load_checkpoint(final.job_id)
+
+
+def test_clean_store_has_no_chaos_counters(tmp_path):
+    store, manager, final = run_job(tmp_path, chaos=None)
+    assert final.state is JobState.DONE, final.error
+    assert manager.counters["checkpoint_write_failures"] == 0

@@ -35,6 +35,16 @@ def test_job_ids_sort_by_submission_order(store):
     assert [r.job_id for r in store.list_jobs()] == ids
 
 
+def test_job_ids_monotonic_within_one_millisecond(store):
+    # Back-to-back submits routinely land in the same wall-clock
+    # millisecond; the id's timestamp prefix must still be strictly
+    # increasing or FIFO falls to the random uuid suffix.
+    ids = [store.submit("flow", SPEC).job_id for _ in range(20)]
+    stamps = [int(job_id.split("-", 1)[0]) for job_id in ids]
+    assert stamps == sorted(set(stamps))
+    assert ids == sorted(ids)
+
+
 def test_claim_next_is_fifo_and_increments_attempts(store):
     first = store.submit("flow", SPEC)
     store.submit("flow", SPEC)
